@@ -1,0 +1,168 @@
+// Command vqcollect runs the heartbeat collector — the measurement back end
+// of the reproduction — accepting TCP heartbeat streams from video players
+// and appending assembled sessions to a trace file.
+//
+// With -demo N it also spawns N simulated adaptive-bitrate players (package
+// player driving package cdn deliveries) against its own listener, so the
+// whole measurement pipeline can be exercised on one machine:
+//
+//	vqcollect -addr 127.0.0.1:9823 -out collected.vqt -demo 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/cdn"
+	"repro/internal/heartbeat"
+	"repro/internal/player"
+	"repro/internal/session"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vqcollect: ")
+	var (
+		addr  = flag.String("addr", "127.0.0.1:9823", "TCP heartbeat listen address")
+		httpA = flag.String("http", "", "also serve HTTP heartbeat batches on this address (e.g. 127.0.0.1:9824)")
+		out   = flag.String("out", "collected.vqt", "trace file to append assembled sessions to")
+		demo  = flag.Int("demo", 0, "also run this many simulated player sessions against the collector")
+		seed  = flag.Uint64("seed", 1, "world seed for the demo players")
+		flush = flag.Duration("flush", 30*time.Second, "idle-session flush interval")
+	)
+	flag.Parse()
+
+	w, err := world.New(world.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr := trace.HeaderFor(w.Space(), 1, *seed)
+	hdr.Comment = "sessions assembled by vqcollect"
+	tw, err := trace.NewWriter(f, hdr, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var count int
+	collector := heartbeat.NewCollector(func(s session.Session) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := tw.Write(&s); err != nil {
+			log.Printf("writing session: %v", err)
+			return
+		}
+		count++
+	})
+	if err := collector.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collecting heartbeats on %s → %s\n", collector.Addr(), *out)
+	var httpSrv *http.Server
+	if *httpA != "" {
+		httpSrv = &http.Server{
+			Addr:    *httpA,
+			Handler: &heartbeat.HTTPHandler{Asm: collector.Assembler(), Logf: log.Printf},
+		}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("http: %v", err)
+			}
+		}()
+		fmt.Printf("accepting HTTP heartbeat batches on %s\n", *httpA)
+	}
+
+	stopFlush := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*flush)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := collector.Assembler().Flush(false); n > 0 {
+					log.Printf("flushed %d idle sessions", n)
+				}
+			case <-stopFlush:
+				return
+			}
+		}
+	}()
+
+	if *demo > 0 {
+		if err := runDemo(collector.Addr().String(), w, *seed, *demo); err != nil {
+			log.Printf("demo: %v", err)
+		}
+		// Demo mode: drain and exit.
+		time.Sleep(200 * time.Millisecond)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("\nshutting down")
+	}
+
+	close(stopFlush)
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if err := collector.Close(); err != nil {
+		log.Printf("closing collector: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %d assembled sessions to %s\n", count, *out)
+}
+
+// runDemo simulates n player sessions end-to-end: world attributes → CDN
+// delivery → ABR playback → heartbeats over TCP.
+func runDemo(addr string, w *world.World, seed uint64, n int) error {
+	model, err := cdn.New(w, cdn.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	em := &heartbeat.Emitter{W: heartbeat.NewWriter(conn), ProgressEvery: 2}
+	rng := stats.NewRNG(seed).Split(0xDE)
+	abrs := []player.ABR{player.RateBased{}, player.BufferBased{}, player.Fixed{Index: 1}}
+	for i := 0; i < n; i++ {
+		attrs := w.SampleAttrs(rng)
+		site := &w.Sites[attrs[attr.Site]]
+		load := cdn.LoadCurve(20, 1.1)
+		d := model.Deliver(rng, attrs[attr.CDN], attrs[attr.ASN], load, site.LowPriority)
+		net := player.NewMarkovNetwork(rng.Split(uint64(i)), d.ThroughputKbps, 20)
+		res, err := player.Play(rng, site.BitrateLadder, abrs[i%len(abrs)], net,
+			player.DefaultConfig(), 120+float64(rng.Intn(480)), d.FailProb, d.RTTms/1000)
+		if err != nil {
+			return err
+		}
+		s := session.Session{ID: uint64(i + 1), Epoch: 0, Attrs: attrs, QoE: res.QoE, EventIDs: session.NoEvents}
+		if err := em.EmitSession(&s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

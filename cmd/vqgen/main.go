@@ -1,0 +1,109 @@
+// Command vqgen generates a synthetic video-session trace — the stand-in
+// for the paper's proprietary dataset — and writes it as a trace container
+// (or CSV) for later analysis with vqanalyze.
+//
+// Usage:
+//
+//	vqgen -out trace.vqt.gz [-epochs 336] [-sessions 4000] [-seed 1]
+//	vqgen -out trace.csv -csv ...        # CSV interchange
+//	vqgen -out trace.jsonl -jsonl ...    # JSON-lines interchange
+//	vqgen -out trace.vqt -index ...      # plus epoch index for random access
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/epoch"
+	"repro/internal/session"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vqgen: ")
+	var (
+		out      = flag.String("out", "trace.vqt.gz", "output path (.gz compresses; with -csv, CSV text)")
+		epochs   = flag.Int("epochs", epoch.DefaultTraceEpochs, "number of one-hour epochs (paper: 336 = two weeks)")
+		sessions = flag.Int("sessions", 4000, "mean sessions per epoch")
+		seed     = flag.Uint64("seed", 1, "universe seed (identical seeds reproduce identical traces)")
+		asCSV    = flag.Bool("csv", false, "write CSV instead of the binary container")
+		asJSONL  = flag.Bool("jsonl", false, "write JSON lines instead of the binary container")
+		index    = flag.Bool("index", false, "also write an epoch index (<out>.idx) for random access; uncompressed binary traces only")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Trace = epoch.Range{Start: 0, End: epoch.Index(*epochs)}
+	cfg.SessionsPerEpoch = *sessions
+	cfg.Events.Trace = cfg.Trace
+
+	g, err := synth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var count uint64
+	if *asCSV || *asJSONL {
+		var all []session.Session
+		if err := g.ForEach(func(s *session.Session) error {
+			all = append(all, *s)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		write := session.WriteCSV
+		if *asJSONL {
+			write = session.WriteJSONL
+		}
+		if err := write(f, all); err != nil {
+			log.Fatal(err)
+		}
+		count = uint64(len(all))
+	} else {
+		hdr := trace.HeaderFor(g.World().Space(), *epochs, *seed)
+		hdr.Comment = fmt.Sprintf("vqgen -epochs %d -sessions %d -seed %d", *epochs, *sessions, *seed)
+		w, err := trace.NewWriter(f, hdr, len(*out) > 3 && (*out)[len(*out)-3:] == ".gz")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.ForEach(func(s *session.Session) error { return w.Write(s) }); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		count = w.Count()
+	}
+	if *index {
+		if *asCSV || *asJSONL || (len(*out) > 3 && (*out)[len(*out)-3:] == ".gz") {
+			log.Fatal("-index requires an uncompressed binary trace")
+		}
+		f.Close()
+		idx, err := trace.BuildIndex(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := idx.Save(*out + ".idx"); err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote epoch index to %s.idx (%d epochs)\n", *out, len(idx.Entries))
+		}
+	}
+	if !*quiet {
+		fmt.Printf("wrote %d sessions across %d epochs to %s (%d ground-truth events)\n",
+			count, *epochs, *out, len(g.Schedule().Events))
+	}
+}

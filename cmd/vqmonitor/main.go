@@ -1,0 +1,109 @@
+// Command vqmonitor streams a trace (from a file or generated live) through
+// the online critical-cluster detector and prints an alert log — the
+// operational form of the paper's reactive strategy (§5.3): NEW when a
+// problem event is first detected, CONTINUING (actionable) once it persists
+// past the one-hour reaction threshold, RESOLVED when it clears.
+//
+// Usage:
+//
+//	vqmonitor -trace trace.vqt.gz                 # monitor a stored trace
+//	vqmonitor -epochs 48 -sessions 3000 -seed 2   # monitor a live synthetic stream
+//	vqmonitor ... -actionable                     # only persistence alerts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/online"
+	"repro/internal/session"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vqmonitor: ")
+	var (
+		path       = flag.String("trace", "", "trace file to monitor (otherwise a synthetic stream is generated)")
+		epochs     = flag.Int("epochs", 48, "synthetic stream length in epochs")
+		sessions   = flag.Int("sessions", 3000, "synthetic sessions per epoch")
+		seed       = flag.Uint64("seed", 1, "synthetic universe seed")
+		actionable = flag.Bool("actionable", false, "print only actionable alerts (persisted ≥ 2 hours)")
+		metricName = flag.String("metric", "", "restrict alerts to one metric")
+	)
+	flag.Parse()
+
+	var space *attr.Space
+	emit := func(a online.Alert) {
+		if *actionable && !a.Actionable() {
+			return
+		}
+		if *metricName != "" && a.Metric.String() != *metricName {
+			return
+		}
+		name := a.Key.String()
+		if space != nil {
+			name = space.FormatKey(a.Key)
+		}
+		switch a.Kind {
+		case online.AlertResolved:
+			fmt.Printf("hour %3d  %-10s %-12s %s (lasted %dh)\n",
+				a.Epoch, a.Kind, a.Metric, name, a.StreakHours)
+		default:
+			tag := ""
+			if a.Actionable() {
+				tag = "  [ACT]"
+			}
+			fmt.Printf("hour %3d  %-10s %-12s %s (ratio %.2f over %d sessions, streak %dh)%s\n",
+				a.Epoch, a.Kind, a.Metric, name, a.Ratio, a.Sessions, a.StreakHours, tag)
+		}
+	}
+
+	perEpoch := *sessions
+	var feed func(d *online.Detector) error
+	if *path != "" {
+		r, err := trace.Open(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		hdr := r.Header()
+		if space, err = hdr.Space(); err != nil {
+			log.Fatal(err)
+		}
+		perEpoch = 4000
+		feed = func(d *online.Detector) error {
+			return r.ForEach(func(s *session.Session) error { return d.Add(s) })
+		}
+	} else {
+		cfg := synth.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Trace = epoch.Range{Start: 0, End: epoch.Index(*epochs)}
+		cfg.SessionsPerEpoch = *sessions
+		cfg.Events.Trace = cfg.Trace
+		g, err := synth.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		space = g.World().Space()
+		feed = func(d *online.Detector) error { return g.ForEach(d.Add) }
+	}
+
+	d, err := online.NewDetector(core.DefaultConfig(perEpoch), emit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := feed(d); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vqmonitor: %d epochs, %d alerts\n", d.Epochs, d.Alerts)
+}

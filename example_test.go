@@ -1,0 +1,42 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+
+	repro "repro"
+)
+
+// The canonical workflow: generate a calibrated dataset, run the paper's
+// analysis, and inspect the structure of the quality problems.
+func ExampleNewStudy() {
+	study, err := repro.NewStudy(repro.QuickConfig(1))
+	if err != nil {
+		panic(err)
+	}
+	// Paper Table 1: how few critical clusters explain the problems.
+	study.Suite().Table1(os.Stdout)
+}
+
+// Ranking and repairing critical clusters — the paper's §5 what-if.
+func ExampleStudy_FixClusters() {
+	study, err := repro.NewStudy(repro.QuickConfig(1))
+	if err != nil {
+		panic(err)
+	}
+	top := study.TopCritical(repro.JoinFailure, 10)
+	fmt.Printf("fixing the top %d join-failure clusters alleviates %.0f%% of problem sessions\n",
+		len(top), 100*study.FixClusters(repro.JoinFailure, top))
+}
+
+// Naming detected clusters with the study's attribute catalog.
+func ExampleStudy_TopCritical() {
+	study, err := repro.NewStudy(repro.QuickConfig(1))
+	if err != nil {
+		panic(err)
+	}
+	space := study.AttrSpace()
+	for _, k := range study.TopCritical(repro.BufRatio, 3) {
+		fmt.Println(space.FormatKey(k))
+	}
+}

@@ -1,0 +1,99 @@
+// ABR comparison: the client-adaptation ecosystem the paper's related work
+// surveys (§7 — rate adaptation evaluations, FESTIVE). Four player
+// algorithms watch the same videos over the same bursty last-mile networks;
+// the table shows the classic trade-offs — fixed-at-HD stalls, rate-based
+// players flap, FESTIVE trades a little bitrate for stability — and how
+// each shows up in the paper's four QoE metrics.
+//
+//	go run ./examples/abr_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/metric"
+	"repro/internal/player"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+const (
+	sessionsPerABR = 400
+	meanKbps       = 2000 // struggling last mile for a 3000 kbps top rung
+	viewSeconds    = 600
+)
+
+func main() {
+	log.SetFlags(0)
+	ladder := []float64{300, 700, 1500, 3000}
+	abrs := []func() player.ABR{
+		func() player.ABR { return player.Fixed{Index: 3} },
+		func() player.ABR { return player.RateBased{} },
+		func() player.ABR { return player.BufferBased{} },
+		func() player.ABR { return &player.Festive{} },
+	}
+
+	type row struct {
+		name                 string
+		bitrate, buf, joinMS float64
+		stalls, switches     float64
+		lowBitrateProblems   int
+		bufferingProblems    int
+	}
+	var rows []row
+	th := metric.Default()
+
+	for _, mk := range abrs {
+		var r row
+		r.name = mk().Name()
+		for i := 0; i < sessionsPerABR; i++ {
+			// Identical network draws per session index across algorithms.
+			net := player.NewMarkovNetwork(stats.NewRNG(uint64(1000+i)), meanKbps, 15)
+			res, err := player.Play(stats.NewRNG(uint64(i)), ladder, mk(), net,
+				player.DefaultConfig(), viewSeconds, 0, 0.03)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.QoE.JoinFailed {
+				continue
+			}
+			r.bitrate += res.QoE.BitrateKbps
+			r.buf += res.QoE.BufRatio
+			r.joinMS += res.QoE.JoinTimeMS
+			r.stalls += float64(res.Rebuffers)
+			r.switches += float64(res.Switches)
+			if res.QoE.Problem(metric.Bitrate, th) {
+				r.lowBitrateProblems++
+			}
+			if res.QoE.Problem(metric.BufRatio, th) {
+				r.bufferingProblems++
+			}
+		}
+		n := float64(sessionsPerABR)
+		r.bitrate /= n
+		r.buf /= n
+		r.joinMS /= n
+		r.stalls /= n
+		r.switches /= n
+		rows = append(rows, r)
+	}
+
+	t := report.Table{
+		Title: fmt.Sprintf("Four ABR algorithms, %d sessions each over a bursty %d kbps last mile",
+			sessionsPerABR, meanKbps),
+		Columns: []string{"ABR", "AvgBitrateKbps", "MeanBufRatio", "MeanJoinMS",
+			"Stalls/Session", "Switches/Session", "BitrateProblems", "BufferingProblems"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.bitrate, r.buf, r.joinMS, r.stalls, r.switches,
+			r.lowBitrateProblems, r.bufferingProblems)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading: fixed-at-HD maximises bitrate but stalls constantly (the paper's")
+	fmt.Println("buffering-ratio problems); adaptive players trade rungs for smoothness;")
+	fmt.Println("FESTIVE's harmonic-mean estimate and gradual switching cut oscillation.")
+}

@@ -1,0 +1,118 @@
+// ISP outage: inject a known 6-hour buffering outage at a specific popular
+// ISP on top of the normal background, then show the paper's reactive
+// strategy (§5.3) detecting the event after its first hour and alleviating
+// the remainder — the "do we have enough time to observe and react?"
+// question of §2.
+//
+//	go run ./examples/isp_outage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/events"
+	"repro/internal/metric"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A two-day trace with the outage at hours 20–26.
+	cfg := synth.DefaultConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 48}
+	cfg.SessionsPerEpoch = 3000
+	cfg.Events.Trace = cfg.Trace
+
+	// Pick a popular ASN that no chronic background event already
+	// anchors, so the detection timeline below is attributable to our
+	// injected outage alone. The world and schedule are deterministic in
+	// the seed, so we can build a baseline generator to inspect them, then
+	// rebuild with the extra event.
+	baseline, err := synth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anchored := map[int32]bool{}
+	for _, ev := range baseline.Schedule().Events {
+		if ev.Anchor.Mask.Has(attr.ASN) {
+			anchored[ev.Anchor.Vals[attr.ASN]] = true
+		}
+	}
+	victim := int32(-1)
+	for id := int32(0); id < 20; id++ { // popularity-ranked: stay observable
+		if !anchored[id] {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		log.Fatal("no suitable un-anchored ASN found")
+	}
+	anchor := attr.NewKey(map[attr.Dim]int32{attr.ASN: victim})
+	outage := epoch.Range{Start: 20, End: 26}
+
+	cfg.Events.Extra = []events.Event{{
+		Metric:    metric.BufRatio,
+		Anchor:    anchor,
+		Severity:  0.6,
+		Intervals: []epoch.Range{outage},
+		Tag:       "injected-wireless-outage",
+	}}
+
+	g, err := synth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Injected a 6-hour buffering outage at %s (hours %d-%d)\n\n",
+		g.World().Space().FormatKey(anchor), outage.Start, outage.End)
+
+	tr, err := core.AnalyzeGenerator(g, core.DefaultConfig(cfg.SessionsPerEpoch))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// When was the victim flagged as a critical cluster?
+	h := analysis.BuildHistory(tr, metric.BufRatio)
+	ks := h.Critical[anchor]
+	if ks == nil {
+		log.Fatal("the outage was not detected as a critical cluster; " +
+			"try a larger SessionsPerEpoch")
+	}
+	fmt.Printf("Detected %s as a critical cluster in epochs %v\n",
+		g.World().Space().FormatKey(anchor), ks.Epochs)
+	streaks := h.Streaks(analysis.CriticalClusters, anchor)
+	for _, st := range streaks {
+		if st.Start >= outage.Start && st.Start < outage.End {
+			fmt.Printf("Outage streak: hours %d-%d — a reactive controller acting after the\n"+
+				"first hour has %d hours of remaining outage to alleviate.\n",
+				st.Start, st.End, st.Len()-1)
+		}
+	}
+
+	// Quantify: problem sessions attributed to the victim during the
+	// outage, and what reacting after hour one saves.
+	var attributed, alleviatable float64
+	for i, e := range ks.Epochs {
+		if !outage.Contains(e) {
+			continue
+		}
+		er := tr.At(e)
+		ms := &er.Metrics[metric.BufRatio]
+		a := ks.AttrProblems[i] - ks.AttrSessions[i]*ms.GlobalRatio
+		if a < 0 {
+			a = 0
+		}
+		attributed += ks.AttrProblems[i]
+		if e != outage.Start {
+			alleviatable += a
+		}
+	}
+	fmt.Printf("\nDuring the outage the victim ISP accounted for %.0f problem sessions;\n"+
+		"reacting after one hour would have alleviated ~%.0f of them.\n", attributed, alleviatable)
+}

@@ -1,0 +1,73 @@
+// Multi-CDN what-if: the paper's Table 3 join-failure anecdote — several
+// presumably low-priority sites all using the same single global CDN suffer
+// chronic join failures, and "could have potentially benefited from using
+// multiple CDNs". This example finds those sites' critical clusters in the
+// analysed trace and quantifies the paper's §5 what-if: how many problem
+// sessions would contracting a second CDN (modelled as fixing those
+// clusters) alleviate?
+//
+//	go run ./examples/multicdn_whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/analysis"
+	"repro/internal/attr"
+	"repro/internal/whatif"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := repro.QuickConfig(1)
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite := study.Suite()
+	w := suite.Gen.World()
+	space := w.Space()
+
+	// The structurally vulnerable sites: single-CDN, low priority.
+	lowPri := w.SitesWhere(func(s *world.Site) bool { return s.LowPriority })
+	fmt.Printf("%d sites ride a single shared global CDN at low priority\n", len(lowPri))
+
+	// Which of them surfaced as join-failure critical clusters?
+	h := study.History(repro.JoinFailure)
+	var keys []repro.Key
+	for _, id := range lowPri {
+		k := attr.NewKey(map[attr.Dim]int32{attr.Site: id})
+		if ks := h.Critical[k]; ks != nil {
+			keys = append(keys, k)
+			fmt.Printf("  detected: %-12s prevalence %.0f%%  attributed failures %.0f\n",
+				space.FormatKey(k), 100*h.Prevalence(analysis.CriticalClusters, k), ks.TotalProblems)
+		}
+	}
+	if len(keys) == 0 {
+		log.Fatal("no low-priority sites detected as critical; increase volume")
+	}
+
+	// The what-if (§5): fixing exactly these clusters — e.g. by adding a
+	// second CDN so their sessions stop failing at elevated rates.
+	o := whatif.FixKeys(suite.TR, repro.JoinFailure, toSet(keys), suite.TR.Trace)
+	fmt.Printf("\nContracting a second CDN for these %d sites would alleviate %.0f problem\n"+
+		"sessions — %.1f%% of all join failures in the trace.\n",
+		len(keys), o.Alleviated, 100*o.Fraction())
+
+	// Compare against the best possible cluster-directed effort of the
+	// same size (top-k critical clusters by coverage).
+	best := study.FixClusters(repro.JoinFailure, study.TopCritical(repro.JoinFailure, len(keys)))
+	fmt.Printf("For reference, the best %d clusters by coverage would alleviate %.1f%%.\n",
+		len(keys), 100*best)
+}
+
+func toSet(keys []repro.Key) map[repro.Key]bool {
+	set := make(map[repro.Key]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/diagnose"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/session"
+	"repro/internal/trace"
+)
+
+// TestPipelineIntegration runs the complete flow a downstream user would:
+// generate a study, export its trace, re-analyse the file, stream it through
+// the online detector, and drill into a detected cluster — asserting the
+// paths agree with each other.
+func TestPipelineIntegration(t *testing.T) {
+	st := study(t)
+
+	// Export and re-analyse: file analysis must match in-memory analysis.
+	var buf bytes.Buffer
+	if err := st.WriteTrace(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(1500)
+	fromFile, err := core.AnalyzeTrace(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := st.Result()
+	if fromFile.Trace != direct.Trace {
+		t.Fatalf("trace ranges differ: %+v vs %+v", fromFile.Trace, direct.Trace)
+	}
+	for i := range direct.Epochs {
+		for _, m := range metric.All() {
+			a := &direct.Epochs[i].Metrics[m]
+			b := &fromFile.Epochs[i].Metrics[m]
+			if a.GlobalProblems != b.GlobalProblems || len(a.Critical) != len(b.Critical) {
+				t.Fatalf("epoch %d metric %v: file analysis diverges", i, m)
+			}
+		}
+	}
+
+	// Online detection over the same file reaches the same critical sets.
+	r2, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEpoch := make(map[int32]map[Key]bool)
+	det, err := online.NewDetector(cfg, func(a online.Alert) {
+		if a.Kind == online.AlertResolved || a.Metric != metric.BufRatio {
+			return
+		}
+		if perEpoch[int32(a.Epoch)] == nil {
+			perEpoch[int32(a.Epoch)] = make(map[Key]bool)
+		}
+		perEpoch[int32(a.Epoch)][a.Key] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.ForEach(func(s *session.Session) error { return det.Add(s) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Epochs {
+		er := &direct.Epochs[i]
+		want := er.Metrics[metric.BufRatio].CriticalSet()
+		got := perEpoch[int32(er.Epoch)]
+		if len(want) != len(got) {
+			t.Fatalf("epoch %d: online %d critical keys, offline %d", er.Epoch, len(got), len(want))
+		}
+	}
+
+	// Drill into the top buffering cluster of some epoch where it is
+	// critical.
+	top := st.TopCritical(BufRatio, 1)
+	if len(top) == 0 {
+		t.Fatal("no critical clusters to drill")
+	}
+	key := top[0]
+	var drilled bool
+	for i := range direct.Epochs {
+		er := &direct.Epochs[i]
+		if !er.Metrics[BufRatio].CriticalSet()[key] {
+			continue
+		}
+		batch := st.Suite().Gen.EpochSessions(er.Epoch)
+		lites := make([]cluster.Lite, len(batch))
+		for j := range batch {
+			lites[j] = cluster.Digest(&batch[j], cfg.Thresholds)
+		}
+		tbl := cluster.NewTable(er.Epoch, lites, 0)
+		view, err := cluster.BuildView(tbl, metric.BufRatio, cfg.Thresholds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := diagnose.Drill(view, key, st.AttrSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ratio < view.Threshold {
+			t.Errorf("drilled cluster ratio %v below threshold %v", rep.Ratio, view.Threshold)
+		}
+		if rep.Summary() == "" || len(rep.Remedies) == 0 {
+			t.Error("drill report incomplete")
+		}
+		drilled = true
+		break
+	}
+	if !drilled {
+		t.Fatal("never drilled the top critical cluster")
+	}
+}

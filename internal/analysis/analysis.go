@@ -1,0 +1,395 @@
+// Package analysis computes the paper's §4 characterisations over a
+// trace-wide analysis result: prevalence and persistence of problem and
+// critical clusters (Figs. 6–8), the problem-vs-critical cluster count
+// timeseries (Fig. 9), the Table 1 reduction/coverage aggregates, the
+// critical-cluster type breakdown (Fig. 10), the cross-metric Jaccard
+// overlap of top critical clusters (Table 2), and the most prevalent
+// critical clusters (Table 3).
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/stats"
+)
+
+// Kind selects which cluster population a temporal query covers.
+type Kind uint8
+
+// Cluster populations.
+const (
+	ProblemClusters Kind = iota
+	CriticalClusters
+)
+
+// KeyStats is the across-epoch record of one critical cluster key.
+type KeyStats struct {
+	// Epochs lists the epochs (ascending) in which the key was critical.
+	Epochs []epoch.Index
+	// AttrProblems and AttrSessions parallel Epochs with the per-epoch
+	// fractional attribution.
+	AttrProblems []float64
+	AttrSessions []float64
+	// TotalProblems and TotalSessions sum the attributions (the coverage
+	// ranking of §5.1).
+	TotalProblems float64
+	TotalSessions float64
+}
+
+// History indexes one metric's cluster occurrences across the trace.
+type History struct {
+	Trace  epoch.Range
+	Metric metric.Metric
+	// Problem maps each key to the ascending epochs it was a problem
+	// cluster in.
+	Problem map[attr.Key][]epoch.Index
+	// Critical maps each key to its across-epoch record.
+	Critical map[attr.Key]*KeyStats
+}
+
+// BuildHistory scans a trace result for metric m.
+func BuildHistory(tr *core.TraceResult, m metric.Metric) *History {
+	h := &History{
+		Trace:    tr.Trace,
+		Metric:   m,
+		Problem:  make(map[attr.Key][]epoch.Index),
+		Critical: make(map[attr.Key]*KeyStats),
+	}
+	for i := range tr.Epochs {
+		er := &tr.Epochs[i]
+		ms := &er.Metrics[m]
+		for _, k := range ms.ProblemKeys {
+			h.Problem[k] = append(h.Problem[k], er.Epoch)
+		}
+		for j := range ms.Critical {
+			cs := &ms.Critical[j]
+			ks := h.Critical[cs.Key]
+			if ks == nil {
+				ks = &KeyStats{}
+				h.Critical[cs.Key] = ks
+			}
+			ks.Epochs = append(ks.Epochs, er.Epoch)
+			ks.AttrProblems = append(ks.AttrProblems, cs.AttributedProblems)
+			ks.AttrSessions = append(ks.AttrSessions, cs.AttributedSessions)
+			ks.TotalProblems += cs.AttributedProblems
+			ks.TotalSessions += cs.AttributedSessions
+		}
+	}
+	return h
+}
+
+// occurrences returns the epoch list for key k in the chosen population.
+func (h *History) occurrences(kind Kind, k attr.Key) []epoch.Index {
+	if kind == ProblemClusters {
+		return h.Problem[k]
+	}
+	if ks := h.Critical[k]; ks != nil {
+		return ks.Epochs
+	}
+	return nil
+}
+
+// keys returns the keys of the chosen population.
+func (h *History) keys(kind Kind) []attr.Key {
+	var out []attr.Key
+	if kind == ProblemClusters {
+		for k := range h.Problem {
+			out = append(out, k)
+		}
+	} else {
+		for k := range h.Critical {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return KeyLess(out[i], out[j]) })
+	return out
+}
+
+// Prevalence returns the fraction of trace epochs in which key k appears in
+// the chosen population (paper §4.1, Fig. 6).
+func (h *History) Prevalence(kind Kind, k attr.Key) float64 {
+	n := h.Trace.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(h.occurrences(kind, k))) / float64(n)
+}
+
+// Persistence returns the median and maximum streak length (consecutive
+// epochs) of key k in the chosen population (paper §4.1, Fig. 6).
+func (h *History) Persistence(kind Kind, k attr.Key) (median, max int) {
+	occ := h.occurrences(kind, k)
+	if len(occ) == 0 {
+		return 0, 0
+	}
+	pos := make([]int32, len(occ))
+	for i, e := range occ {
+		pos[i] = int32(e)
+	}
+	streaks := stats.Streaks(pos)
+	return stats.MedianInt(streaks), stats.MaxInt(streaks)
+}
+
+// PrevalenceDist returns the prevalence of every key in the population —
+// the sample set behind Fig. 7's inverse CDF.
+func (h *History) PrevalenceDist(kind Kind) []float64 {
+	ks := h.keys(kind)
+	out := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, h.Prevalence(kind, k))
+	}
+	return out
+}
+
+// PersistenceDist returns the per-key median and max streak lengths — the
+// sample sets behind Fig. 8(a) and 8(b).
+func (h *History) PersistenceDist(kind Kind) (medians, maxes []float64) {
+	ks := h.keys(kind)
+	medians = make([]float64, 0, len(ks))
+	maxes = make([]float64, 0, len(ks))
+	for _, k := range ks {
+		med, max := h.Persistence(kind, k)
+		medians = append(medians, float64(med))
+		maxes = append(maxes, float64(max))
+	}
+	return medians, maxes
+}
+
+// Streaks returns, for key k, the maximal runs of consecutive epochs in the
+// population as epoch ranges (the reactive what-if consumes these).
+func (h *History) Streaks(kind Kind, k attr.Key) []epoch.Range {
+	occ := h.occurrences(kind, k)
+	if len(occ) == 0 {
+		return nil
+	}
+	var out []epoch.Range
+	start := occ[0]
+	prev := occ[0]
+	for _, e := range occ[1:] {
+		if e == prev+1 {
+			prev = e
+			continue
+		}
+		out = append(out, epoch.Range{Start: start, End: prev + 1})
+		start, prev = e, e
+	}
+	out = append(out, epoch.Range{Start: start, End: prev + 1})
+	return out
+}
+
+// TopCritical returns up to k critical keys ranked by total attributed
+// problem sessions (the paper's coverage ranking).
+func (h *History) TopCritical(k int) []attr.Key {
+	keys := h.keys(CriticalClusters)
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := h.Critical[keys[i]].TotalProblems, h.Critical[keys[j]].TotalProblems
+		if a != b {
+			return a > b
+		}
+		return KeyLess(keys[i], keys[j])
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return keys[:k]
+}
+
+// ClusterCounts returns the per-epoch problem and critical cluster counts
+// for metric m (Fig. 9's two series).
+func ClusterCounts(tr *core.TraceResult, m metric.Metric) (problems, criticals []int) {
+	problems = make([]int, len(tr.Epochs))
+	criticals = make([]int, len(tr.Epochs))
+	for i := range tr.Epochs {
+		ms := &tr.Epochs[i].Metrics[m]
+		problems[i] = ms.NumProblemClusters
+		criticals[i] = len(ms.Critical)
+	}
+	return problems, criticals
+}
+
+// Table1Row aggregates the paper's Table 1 for one metric.
+type Table1Row struct {
+	Metric               metric.Metric
+	MeanProblemClusters  float64
+	MeanCriticalClusters float64
+	// CriticalFraction = MeanCriticalClusters / MeanProblemClusters.
+	CriticalFraction     float64
+	MeanProblemCoverage  float64
+	MeanCriticalCoverage float64
+}
+
+// Table1 computes the reduction and coverage aggregates of Table 1.
+func Table1(tr *core.TraceResult) [metric.NumMetrics]Table1Row {
+	var rows [metric.NumMetrics]Table1Row
+	n := float64(len(tr.Epochs))
+	if n == 0 {
+		return rows
+	}
+	for _, m := range metric.All() {
+		row := Table1Row{Metric: m}
+		for i := range tr.Epochs {
+			ms := &tr.Epochs[i].Metrics[m]
+			row.MeanProblemClusters += float64(ms.NumProblemClusters)
+			row.MeanCriticalClusters += float64(len(ms.Critical))
+			row.MeanProblemCoverage += ms.ProblemCoverage()
+			row.MeanCriticalCoverage += ms.CriticalCoverage()
+		}
+		row.MeanProblemClusters /= n
+		row.MeanCriticalClusters /= n
+		row.MeanProblemCoverage /= n
+		row.MeanCriticalCoverage /= n
+		if row.MeanProblemClusters > 0 {
+			row.CriticalFraction = row.MeanCriticalClusters / row.MeanProblemClusters
+		}
+		rows[m] = row
+	}
+	return rows
+}
+
+// Breakdown is the Fig. 10 decomposition of problem sessions for one
+// metric: attributed to critical clusters by attribute combination, inside
+// problem clusters but unattributed, and outside any problem cluster.
+type Breakdown struct {
+	Metric metric.Metric
+	// ByMask sums attributed problem sessions per critical-cluster mask.
+	ByMask map[attr.Mask]float64
+	// NotAttributed counts problem sessions inside problem clusters but
+	// not covered by any critical cluster.
+	NotAttributed float64
+	// NotInProblemCluster counts problem sessions outside every problem
+	// cluster.
+	NotInProblemCluster float64
+	// Total is all problem sessions.
+	Total float64
+}
+
+// TypeBreakdown computes the Fig. 10 decomposition over the whole trace.
+func TypeBreakdown(tr *core.TraceResult, m metric.Metric) Breakdown {
+	b := Breakdown{Metric: m, ByMask: make(map[attr.Mask]float64)}
+	for i := range tr.Epochs {
+		ms := &tr.Epochs[i].Metrics[m]
+		b.Total += float64(ms.GlobalProblems)
+		b.NotAttributed += float64(ms.ProblemsInProblemClusters - ms.CoveredProblems)
+		b.NotInProblemCluster += float64(ms.GlobalProblems - ms.ProblemsInProblemClusters)
+		for j := range ms.Critical {
+			cs := &ms.Critical[j]
+			b.ByMask[cs.Key.Mask] += cs.AttributedProblems
+		}
+	}
+	return b
+}
+
+// MaskShares returns the Fig. 10 slices sorted by share descending: each
+// mask's fraction of total problem sessions, then the two residual slices.
+func (b Breakdown) MaskShares() []MaskShare {
+	out := make([]MaskShare, 0, len(b.ByMask))
+	for m, v := range b.ByMask {
+		out = append(out, MaskShare{Mask: m, Sessions: v, Share: safeDiv(v, b.Total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sessions != out[j].Sessions {
+			return out[i].Sessions > out[j].Sessions
+		}
+		return out[i].Mask < out[j].Mask
+	})
+	return out
+}
+
+// MaskShare is one Fig. 10 pie slice.
+type MaskShare struct {
+	Mask     attr.Mask
+	Sessions float64
+	Share    float64
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Table2 computes the average Jaccard similarity between the top-k critical
+// clusters of every metric pair (paper Table 2; k=100 there).
+func Table2(tr *core.TraceResult, k int) map[[2]metric.Metric]float64 {
+	hists := make([]*History, metric.NumMetrics)
+	tops := make([]map[attr.Key]bool, metric.NumMetrics)
+	for _, m := range metric.All() {
+		hists[m] = BuildHistory(tr, m)
+		set := make(map[attr.Key]bool)
+		for _, key := range hists[m].TopCritical(k) {
+			set[key] = true
+		}
+		tops[m] = set
+	}
+	out := make(map[[2]metric.Metric]float64)
+	for a := metric.Metric(0); a < metric.NumMetrics; a++ {
+		for b := a + 1; b < metric.NumMetrics; b++ {
+			out[[2]metric.Metric{a, b}] = stats.Jaccard(tops[a], tops[b])
+		}
+	}
+	return out
+}
+
+// PrevalentCritical is a Table 3 row candidate: a critical cluster with its
+// prevalence.
+type PrevalentCritical struct {
+	Key        attr.Key
+	Prevalence float64
+	// TotalProblems is the summed attribution, for secondary ranking.
+	TotalProblems float64
+}
+
+// PrevalentCriticals returns the critical clusters of metric m with
+// prevalence above minPrev, most prevalent first (paper §4.3 uses 60%),
+// optionally restricted to single-attribute clusters of the dominant types
+// the paper tabulates (ASN, CDN, Site, ConnType).
+func PrevalentCriticals(h *History, minPrev float64, restrict bool) []PrevalentCritical {
+	allowed := map[attr.Mask]bool{
+		attr.MaskOf(attr.ASN):      true,
+		attr.MaskOf(attr.CDN):      true,
+		attr.MaskOf(attr.Site):     true,
+		attr.MaskOf(attr.ConnType): true,
+	}
+	var out []PrevalentCritical
+	for k, ks := range h.Critical {
+		if restrict && !allowed[k.Mask] {
+			continue
+		}
+		prev := h.Prevalence(CriticalClusters, k)
+		if prev < minPrev {
+			continue
+		}
+		out = append(out, PrevalentCritical{Key: k, Prevalence: prev, TotalProblems: ks.TotalProblems})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prevalence != out[j].Prevalence {
+			return out[i].Prevalence > out[j].Prevalence
+		}
+		if out[i].TotalProblems != out[j].TotalProblems {
+			return out[i].TotalProblems > out[j].TotalProblems
+		}
+		return KeyLess(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// KeyLess is a deterministic total order over keys.
+func KeyLess(a, b attr.Key) bool {
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	for d := attr.Dim(0); d < attr.NumDims; d++ {
+		if a.Vals[d] != b.Vals[d] {
+			return a.Vals[d] < b.Vals[d]
+		}
+	}
+	return false
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+func k(pairs map[attr.Dim]int32) attr.Key { return attr.NewKey(pairs) }
+
+var (
+	asn1     = k(map[attr.Dim]int32{attr.ASN: 1})
+	asn2     = k(map[attr.Dim]int32{attr.ASN: 2})
+	cdn1     = k(map[attr.Dim]int32{attr.CDN: 1})
+	cdn2     = k(map[attr.Dim]int32{attr.CDN: 2})
+	asn1cdn1 = k(map[attr.Dim]int32{attr.ASN: 1, attr.CDN: 1})
+	asn2cdn1 = k(map[attr.Dim]int32{attr.ASN: 2, attr.CDN: 1})
+)
+
+// fig6Trace encodes the paper's Fig. 6 worked example (6 epochs) as problem
+// cluster occurrences:
+//
+//	epoch1: ASN1, CDN2             epoch2: ASN1, ASN1∧CDN1, CDN2
+//	epoch3: ASN1∧CDN1, ASN2∧CDN1, CDN2   epoch4: ASN2, ASN2∧CDN1
+//	epoch5: ASN2, ASN1∧CDN1, CDN2  epoch6: ASN2, ASN1∧CDN1, CDN2, CDN1
+//
+// (1-based in the figure; 0-based here.)
+func fig6Trace() *core.TraceResult {
+	occ := [][]attr.Key{
+		{asn1, cdn2},
+		{asn1, asn1cdn1, cdn2},
+		{asn1cdn1, asn2cdn1, cdn2},
+		{asn2, asn2cdn1},
+		{asn2, asn1cdn1, cdn2},
+		{asn2, asn1cdn1, cdn2, cdn1},
+	}
+	tr := &core.TraceResult{
+		Trace:  epoch.Range{Start: 0, End: 6},
+		Epochs: make([]core.EpochResult, 6),
+	}
+	for i, keys := range occ {
+		er := &tr.Epochs[i]
+		er.Epoch = epoch.Index(i)
+		ms := &er.Metrics[metric.BufRatio]
+		ms.Metric = metric.BufRatio
+		ms.ProblemKeys = append([]attr.Key(nil), keys...)
+		ms.NumProblemClusters = len(keys)
+		for _, key := range keys {
+			ms.Critical = append(ms.Critical, core.CriticalSummary{Key: key, AttributedProblems: 10, AttributedSessions: 50})
+		}
+	}
+	return tr
+}
+
+// TestFig6PrevalenceAndPersistence checks the worked example verbatim:
+// prevalence(ASN1∧CDN1)=4/6, prevalence(CDN2)=5/6, persistence streaks
+// {2,2} and {3,2}, ASN2 max persistence 3 consecutive epochs... the paper's
+// figure lists ASN2={4} counting epochs 4–6 plus epoch 4; here ASN2 appears
+// in epochs 3,4,5 (0-based) giving a single streak of 3 — the figure's "4"
+// counts its occurrences 4/6 in the prevalence row; its persistence set is
+// {3} in our 0-based encoding of the drawn occurrences.
+func TestFig6PrevalenceAndPersistence(t *testing.T) {
+	tr := fig6Trace()
+	h := BuildHistory(tr, metric.BufRatio)
+
+	if got := h.Prevalence(ProblemClusters, asn1cdn1); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("prevalence(ASN1∧CDN1) = %v, want 4/6", got)
+	}
+	if got := h.Prevalence(ProblemClusters, cdn2); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("prevalence(CDN2) = %v, want 5/6", got)
+	}
+	if got := h.Prevalence(ProblemClusters, asn1); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("prevalence(ASN1) = %v, want 2/6", got)
+	}
+	if got := h.Prevalence(ProblemClusters, cdn1); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("prevalence(CDN1) = %v, want 1/6", got)
+	}
+
+	med, max := h.Persistence(ProblemClusters, asn1cdn1)
+	if med != 2 || max != 2 {
+		t.Errorf("persistence(ASN1∧CDN1) = %d/%d, want 2/2 (streaks {2,2})", med, max)
+	}
+	med, max = h.Persistence(ProblemClusters, cdn2)
+	if med != 2 || max != 3 {
+		t.Errorf("persistence(CDN2) = %d/%d, want 2/3 (streaks {3,2})", med, max)
+	}
+	med, max = h.Persistence(ProblemClusters, cdn1)
+	if med != 1 || max != 1 {
+		t.Errorf("persistence(CDN1) = %d/%d, want 1/1", med, max)
+	}
+	if m, x := h.Persistence(ProblemClusters, k(map[attr.Dim]int32{attr.Site: 9})); m != 0 || x != 0 {
+		t.Error("persistence of absent key should be 0/0")
+	}
+}
+
+func TestStreaksRanges(t *testing.T) {
+	tr := fig6Trace()
+	h := BuildHistory(tr, metric.BufRatio)
+	streaks := h.Streaks(ProblemClusters, asn1cdn1)
+	want := []epoch.Range{{Start: 1, End: 3}, {Start: 4, End: 6}}
+	if len(streaks) != len(want) {
+		t.Fatalf("streaks = %v, want %v", streaks, want)
+	}
+	for i := range want {
+		if streaks[i] != want[i] {
+			t.Errorf("streak %d = %v, want %v", i, streaks[i], want[i])
+		}
+	}
+	if h.Streaks(ProblemClusters, k(map[attr.Dim]int32{attr.Site: 9})) != nil {
+		t.Error("absent key should have no streaks")
+	}
+}
+
+func TestPrevalenceDistAndPersistenceDist(t *testing.T) {
+	tr := fig6Trace()
+	h := BuildHistory(tr, metric.BufRatio)
+	prev := h.PrevalenceDist(ProblemClusters)
+	if len(prev) != 6 { // 6 distinct keys
+		t.Fatalf("prevalence dist over %d keys, want 6", len(prev))
+	}
+	meds, maxes := h.PersistenceDist(ProblemClusters)
+	if len(meds) != 6 || len(maxes) != 6 {
+		t.Fatal("persistence dists wrong length")
+	}
+	for i := range meds {
+		if maxes[i] < meds[i] {
+			t.Errorf("max < median at %d", i)
+		}
+	}
+	// Critical population mirrors problem keys in this constructed trace.
+	if got := len(h.PrevalenceDist(CriticalClusters)); got != 6 {
+		t.Errorf("critical prevalence dist = %d keys", got)
+	}
+}
+
+func TestTopCritical(t *testing.T) {
+	tr := fig6Trace()
+	h := BuildHistory(tr, metric.BufRatio)
+	top := h.TopCritical(2)
+	// CDN2 appears 5 times (50 attributed problems), ASN1∧CDN1 4 times.
+	if len(top) != 2 || top[0] != cdn2 || top[1] != asn1cdn1 {
+		t.Errorf("TopCritical = %v", top)
+	}
+	if len(h.TopCritical(100)) != 6 {
+		t.Error("TopCritical should clamp")
+	}
+	if len(h.TopCritical(-1)) != 0 {
+		t.Error("TopCritical(-1) should be empty")
+	}
+}
+
+func TestClusterCountsAndTable1(t *testing.T) {
+	tr := fig6Trace()
+	probs, crits := ClusterCounts(tr, metric.BufRatio)
+	if len(probs) != 6 || probs[0] != 2 || probs[5] != 4 {
+		t.Errorf("problem counts = %v", probs)
+	}
+	if crits[0] != 2 {
+		t.Errorf("critical counts = %v", crits)
+	}
+	rows := Table1(tr)
+	row := rows[metric.BufRatio]
+	if math.Abs(row.MeanProblemClusters-17.0/6) > 1e-12 {
+		t.Errorf("mean problem clusters = %v", row.MeanProblemClusters)
+	}
+	if row.CriticalFraction != 1 {
+		t.Errorf("critical fraction = %v, want 1 (constructed 1:1)", row.CriticalFraction)
+	}
+	if Table1(&core.TraceResult{})[0].MeanProblemClusters != 0 {
+		t.Error("empty Table1 should be zero")
+	}
+}
+
+func TestTypeBreakdown(t *testing.T) {
+	tr := fig6Trace()
+	// Give the epochs global counts so the residual slices are non-zero.
+	for i := range tr.Epochs {
+		ms := &tr.Epochs[i].Metrics[metric.BufRatio]
+		ms.GlobalProblems = 100
+		ms.CoveredProblems = 10 * int32(len(ms.Critical))
+		ms.ProblemsInProblemClusters = ms.CoveredProblems + 20
+	}
+	b := TypeBreakdown(tr, metric.BufRatio)
+	if b.Total != 600 {
+		t.Errorf("total = %v", b.Total)
+	}
+	if b.NotAttributed != 6*20 {
+		t.Errorf("not attributed = %v", b.NotAttributed)
+	}
+	// ByMask: ASN mask keys (ASN1, ASN2): 2+3 occurrences ×10 = 50, CDN
+	// mask (CDN1, CDN2): 1+5 = 60, pair mask: 4+2 = 60.
+	if got := b.ByMask[attr.MaskOf(attr.ASN)]; got != 50 {
+		t.Errorf("ASN mask share = %v, want 50", got)
+	}
+	if got := b.ByMask[attr.MaskOf(attr.CDN)]; got != 60 {
+		t.Errorf("CDN mask share = %v, want 60", got)
+	}
+	if got := b.ByMask[attr.MaskOf(attr.ASN, attr.CDN)]; got != 60 {
+		t.Errorf("pair mask share = %v, want 60", got)
+	}
+	shares := b.MaskShares()
+	if len(shares) != 3 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if shares[0].Sessions < shares[1].Sessions || shares[1].Sessions < shares[2].Sessions {
+		t.Error("shares not sorted descending")
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s.Share
+	}
+	if math.Abs(sum-170.0/600) > 1e-12 {
+		t.Errorf("share sum = %v", sum)
+	}
+}
+
+func TestTable2Jaccard(t *testing.T) {
+	tr := fig6Trace()
+	// Duplicate the BufRatio structure into Bitrate with disjoint keys, and
+	// into JoinTime with identical keys.
+	for i := range tr.Epochs {
+		src := tr.Epochs[i].Metrics[metric.BufRatio]
+		var bitrate core.MetricSummary
+		bitrate.Metric = metric.Bitrate
+		for _, cs := range src.Critical {
+			cs.Key = k(map[attr.Dim]int32{attr.Site: cs.Key.Vals[attr.ASN] + 10})
+			bitrate.Critical = append(bitrate.Critical, cs)
+		}
+		tr.Epochs[i].Metrics[metric.Bitrate] = bitrate
+		jt := src
+		jt.Metric = metric.JoinTime
+		tr.Epochs[i].Metrics[metric.JoinTime] = jt
+	}
+	out := Table2(tr, 100)
+	if got := out[[2]metric.Metric{metric.BufRatio, metric.JoinTime}]; got != 1 {
+		t.Errorf("identical metrics Jaccard = %v, want 1", got)
+	}
+	if got := out[[2]metric.Metric{metric.BufRatio, metric.Bitrate}]; got != 0 {
+		t.Errorf("disjoint metrics Jaccard = %v, want 0", got)
+	}
+	if len(out) != 6 {
+		t.Errorf("pair count = %d, want 6", len(out))
+	}
+}
+
+func TestPrevalentCriticals(t *testing.T) {
+	tr := fig6Trace()
+	h := BuildHistory(tr, metric.BufRatio)
+	got := PrevalentCriticals(h, 0.6, true)
+	// Only CDN2 (5/6) among single-attribute ASN/CDN/Site/ConnType keys
+	// exceeds 60%; ASN1∧CDN1 (4/6) is excluded by the mask restriction.
+	if len(got) != 1 || got[0].Key != cdn2 {
+		t.Fatalf("prevalent = %+v, want just CDN2", got)
+	}
+	unrestricted := PrevalentCriticals(h, 0.6, false)
+	if len(unrestricted) != 2 {
+		t.Fatalf("unrestricted prevalent = %+v, want CDN2 and ASN1∧CDN1", unrestricted)
+	}
+	if unrestricted[0].Key != cdn2 || unrestricted[1].Key != asn1cdn1 {
+		t.Errorf("ordering wrong: %+v", unrestricted)
+	}
+}

@@ -1,0 +1,39 @@
+package attr
+
+import "testing"
+
+// FuzzParseKey ensures the key parser never panics and that successfully
+// parsed keys re-format and re-parse to themselves.
+func FuzzParseKey(f *testing.F) {
+	space, err := NewSpace(map[Dim][]string{
+		ASN:        {"AS1", "AS2", "AS3"},
+		CDN:        {"cdn-a", "cdn-b"},
+		Site:       {"s1", "s2"},
+		VoDOrLive:  {"VoD", "Live"},
+		PlayerType: {"Flash", "HTML5"},
+		Browser:    {"Chrome", "Safari"},
+		ConnType:   {"DSL", "Mobile"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("CDN=cdn-b, ConnType=Mobile")
+	f.Add("(root)")
+	f.Add("ASN=2")
+	f.Add("ASN=AS1, ASN=AS2")
+	f.Add("Bogus=1")
+	f.Add(",,,=,")
+	f.Fuzz(func(t *testing.T, text string) {
+		k, err := space.ParseKey(text)
+		if err != nil {
+			return
+		}
+		back, err := space.ParseKey(space.FormatKey(k))
+		if err != nil {
+			t.Fatalf("formatted key failed to re-parse: %v", err)
+		}
+		if back != k {
+			t.Fatalf("round trip changed key: %v vs %v", back, k)
+		}
+	})
+}

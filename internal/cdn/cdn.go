@@ -1,0 +1,168 @@
+// Package cdn models content delivery for the behavioural simulation path:
+// server selection, per-(CDN kind, client region) path quality, and
+// capacity/overload dynamics. The paper's root causes — in-house CDNs with
+// thin footprints, a shared global CDN deprioritising low-end sites,
+// Chinese clients fetching player modules from US CDNs — are all expressible
+// as combinations of this model's knobs.
+package cdn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// Config parameterises the delivery model.
+type Config struct {
+	Seed uint64
+	// BaseThroughputKbps is the nominal per-session delivery rate from a
+	// well-provisioned CDN edge over a good path.
+	BaseThroughputKbps float64
+	// BaseRTTms is the nominal round-trip time to a nearby edge.
+	BaseRTTms float64
+	// BaseFailProb is the background connection-failure probability.
+	BaseFailProb float64
+}
+
+// DefaultConfig returns delivery parameters matching the 2013-era access
+// networks of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		BaseThroughputKbps: 5200,
+		BaseRTTms:          35,
+		BaseFailProb:       0.004,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.BaseThroughputKbps <= 0:
+		return fmt.Errorf("cdn: BaseThroughputKbps %v must be positive", c.BaseThroughputKbps)
+	case c.BaseRTTms <= 0:
+		return fmt.Errorf("cdn: BaseRTTms %v must be positive", c.BaseRTTms)
+	case c.BaseFailProb < 0 || c.BaseFailProb >= 1:
+		return fmt.Errorf("cdn: BaseFailProb %v out of [0,1)", c.BaseFailProb)
+	}
+	return nil
+}
+
+// Delivery is the path a session gets: the sustainable delivery rate, the
+// round-trip time, and the probability the connection fails outright.
+type Delivery struct {
+	ThroughputKbps float64
+	RTTms          float64
+	FailProb       float64
+}
+
+// Model is the delivery simulator for one world. It is immutable and safe
+// for concurrent use; per-call randomness comes from the caller's RNG.
+type Model struct {
+	cfg Config
+	w   *world.World
+}
+
+// New builds a delivery model over a world.
+func New(w *world.World, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, w: w}, nil
+}
+
+// footprint returns the multiplier describing how well a CDN kind reaches a
+// client region: global CDNs have edges everywhere; in-house CDNs serve
+// from few locations; ISP-run CDNs are excellent inside their footprint
+// (modelled as US) and poor elsewhere.
+func footprint(kind world.CDNKind, region world.Region) (throughputMul, rttMul, failMul float64) {
+	switch kind {
+	case world.CDNGlobal:
+		switch region {
+		case world.RegionUS, world.RegionEurope:
+			return 1.0, 1.0, 1.0
+		case world.RegionChina:
+			return 0.55, 2.8, 2.2
+		default:
+			return 0.7, 1.9, 1.6
+		}
+	case world.CDNDatacenter:
+		switch region {
+		case world.RegionUS:
+			return 1.0, 1.1, 1.0
+		case world.RegionEurope:
+			return 0.85, 1.6, 1.2
+		default:
+			return 0.55, 2.6, 1.9
+		}
+	case world.CDNInHouse:
+		// Single-site origins: fine nearby, painful across oceans.
+		switch region {
+		case world.RegionUS:
+			return 0.8, 1.3, 1.4
+		default:
+			return 0.4, 3.2, 2.6
+		}
+	default: // CDNISPRun
+		switch region {
+		case world.RegionUS:
+			return 1.1, 0.9, 0.9
+		default:
+			return 0.45, 2.9, 2.1
+		}
+	}
+}
+
+// Deliver computes the delivery a session receives from cdnID toward asnID
+// under the given CDN load (1.0 = at capacity; beyond it throughput
+// degrades and failures climb — the paper's "CDN under overload").
+// lowPriority marks traffic the shared global CDN deprioritises under load
+// (the paper's join-failure anecdote for low-end providers).
+func (m *Model) Deliver(r *stats.RNG, cdnID, asnID int32, load float64, lowPriority bool) Delivery {
+	c := &m.w.CDNs[cdnID]
+	a := &m.w.ASNs[asnID]
+	tpMul, rttMul, failMul := footprint(c.Kind, a.Region)
+
+	d := Delivery{
+		ThroughputKbps: m.cfg.BaseThroughputKbps * tpMul * r.LogNormal(0, 0.35),
+		RTTms:          m.cfg.BaseRTTms * rttMul * r.LogNormal(0, 0.25),
+		FailProb:       m.cfg.BaseFailProb * failMul,
+	}
+
+	if load > 1 {
+		over := load - 1
+		// Throughput collapses roughly linearly past capacity; failures
+		// grow faster for deprioritised traffic.
+		d.ThroughputKbps /= 1 + 1.5*over
+		d.RTTms *= 1 + over
+		d.FailProb += 0.15 * over
+		if lowPriority {
+			d.FailProb += 0.35 * over
+		}
+	} else if lowPriority {
+		// Even off-peak, deprioritised traffic sees mildly elevated
+		// failures (lower-tier service).
+		d.FailProb += 0.01
+	}
+
+	d.FailProb = stats.Clamp(d.FailProb, 0, 0.95)
+	if d.ThroughputKbps < 1 {
+		d.ThroughputKbps = 1
+	}
+	return d
+}
+
+// LoadCurve returns a diurnal CDN load profile: the fraction of capacity in
+// use at hour-of-day h (0–23), peaking in the evening. overProvision > 1
+// keeps the CDN under capacity all day; < 1 pushes it into overload at the
+// peak (the failure anecdotes of Table 3).
+func LoadCurve(h int, overProvision float64) float64 {
+	// Same diurnal shape as the session volume (peak at 20:00).
+	shape := 1 + 0.3*math.Sin(2*math.Pi*(float64(h)-14)/24)
+	if overProvision <= 0 {
+		overProvision = 1
+	}
+	return shape / overProvision
+}

@@ -1,0 +1,167 @@
+package cdn
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+func model(t *testing.T) (*Model, *world.World) {
+	t.Helper()
+	w, err := world.New(world.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+func firstOf(t *testing.T, w *world.World, kind world.CDNKind) int32 {
+	t.Helper()
+	ids := w.CDNsWhere(func(c *world.CDN) bool { return c.Kind == kind })
+	if len(ids) == 0 {
+		t.Fatalf("no CDN of kind %v", kind)
+	}
+	return ids[0]
+}
+
+func firstASN(t *testing.T, w *world.World, region world.Region) int32 {
+	t.Helper()
+	ids := w.ASNsWhere(func(a *world.ASN) bool { return a.Region == region })
+	if len(ids) == 0 {
+		t.Fatalf("no ASN in region %v", region)
+	}
+	return ids[0]
+}
+
+func meanDelivery(m *Model, cdnID, asnID int32, load float64, lowPri bool) Delivery {
+	r := stats.NewRNG(9)
+	var sum Delivery
+	const n = 400
+	for i := 0; i < n; i++ {
+		d := m.Deliver(r, cdnID, asnID, load, lowPri)
+		sum.ThroughputKbps += d.ThroughputKbps
+		sum.RTTms += d.RTTms
+		sum.FailProb += d.FailProb
+	}
+	sum.ThroughputKbps /= n
+	sum.RTTms /= n
+	sum.FailProb /= n
+	return sum
+}
+
+func TestRegionalFootprint(t *testing.T) {
+	m, w := model(t)
+	global := firstOf(t, w, world.CDNGlobal)
+	us := firstASN(t, w, world.RegionUS)
+	china := firstASN(t, w, world.RegionChina)
+
+	dUS := meanDelivery(m, global, us, 0.5, false)
+	dCN := meanDelivery(m, global, china, 0.5, false)
+	if dCN.ThroughputKbps >= dUS.ThroughputKbps {
+		t.Errorf("China throughput %v >= US %v from a global CDN", dCN.ThroughputKbps, dUS.ThroughputKbps)
+	}
+	if dCN.RTTms <= dUS.RTTms {
+		t.Errorf("China RTT %v <= US %v", dCN.RTTms, dUS.RTTms)
+	}
+}
+
+func TestInHouseCDNWorseAbroad(t *testing.T) {
+	m, w := model(t)
+	inhouse := firstOf(t, w, world.CDNInHouse)
+	global := firstOf(t, w, world.CDNGlobal)
+	asia := firstASN(t, w, world.RegionAsiaOther)
+	dIn := meanDelivery(m, inhouse, asia, 0.5, false)
+	dGl := meanDelivery(m, global, asia, 0.5, false)
+	if dIn.ThroughputKbps >= dGl.ThroughputKbps {
+		t.Errorf("in-house throughput %v should trail global %v in Asia",
+			dIn.ThroughputKbps, dGl.ThroughputKbps)
+	}
+}
+
+func TestOverloadDegrades(t *testing.T) {
+	m, w := model(t)
+	global := firstOf(t, w, world.CDNGlobal)
+	us := firstASN(t, w, world.RegionUS)
+	normal := meanDelivery(m, global, us, 0.8, false)
+	overloaded := meanDelivery(m, global, us, 1.5, false)
+	if overloaded.ThroughputKbps >= normal.ThroughputKbps*0.8 {
+		t.Errorf("overload throughput %v vs normal %v", overloaded.ThroughputKbps, normal.ThroughputKbps)
+	}
+	if overloaded.FailProb <= normal.FailProb {
+		t.Errorf("overload failures %v vs normal %v", overloaded.FailProb, normal.FailProb)
+	}
+}
+
+func TestLowPriorityFailsMoreUnderLoad(t *testing.T) {
+	m, w := model(t)
+	global := firstOf(t, w, world.CDNGlobal)
+	us := firstASN(t, w, world.RegionUS)
+	regular := meanDelivery(m, global, us, 1.3, false)
+	lowPri := meanDelivery(m, global, us, 1.3, true)
+	if lowPri.FailProb <= regular.FailProb {
+		t.Errorf("low-priority failures %v should exceed regular %v (paper Table 3)",
+			lowPri.FailProb, regular.FailProb)
+	}
+	// Off-peak the penalty is mild but present.
+	offPeakReg := meanDelivery(m, global, us, 0.5, false)
+	offPeakLow := meanDelivery(m, global, us, 0.5, true)
+	if offPeakLow.FailProb <= offPeakReg.FailProb {
+		t.Error("low-priority should see mildly elevated failures off-peak")
+	}
+}
+
+func TestDeliveryBounds(t *testing.T) {
+	m, w := model(t)
+	r := stats.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		cdnID := int32(i % len(w.CDNs))
+		asnID := int32(i % len(w.ASNs))
+		d := m.Deliver(r, cdnID, asnID, 3.0, i%2 == 0)
+		if d.ThroughputKbps < 1 {
+			t.Fatalf("throughput %v below floor", d.ThroughputKbps)
+		}
+		if d.FailProb < 0 || d.FailProb > 0.95 {
+			t.Fatalf("fail prob %v out of bounds", d.FailProb)
+		}
+		if d.RTTms <= 0 {
+			t.Fatalf("non-positive RTT %v", d.RTTms)
+		}
+	}
+}
+
+func TestLoadCurve(t *testing.T) {
+	peak := LoadCurve(20, 1)
+	trough := LoadCurve(8, 1)
+	if peak <= trough {
+		t.Errorf("peak load %v <= trough %v", peak, trough)
+	}
+	if LoadCurve(20, 2) >= peak {
+		t.Error("over-provisioning should lower load")
+	}
+	if LoadCurve(20, 0) != peak {
+		t.Error("zero over-provision should default to 1")
+	}
+	// An under-provisioned CDN goes past capacity at the peak.
+	if LoadCurve(20, 0.8) <= 1 {
+		t.Error("under-provisioned CDN should exceed capacity at peak")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	w, _ := world.New(world.DefaultConfig())
+	bad := []Config{
+		{BaseThroughputKbps: 0, BaseRTTms: 10, BaseFailProb: 0.01},
+		{BaseThroughputKbps: 100, BaseRTTms: 0, BaseFailProb: 0.01},
+		{BaseThroughputKbps: 100, BaseRTTms: 10, BaseFailProb: 1},
+	}
+	for i, c := range bad {
+		if _, err := New(w, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

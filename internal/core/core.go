@@ -1,0 +1,347 @@
+// Package core orchestrates the paper's end-to-end analysis: it turns a
+// trace (streamed from disk or regenerated synthetically) into per-epoch,
+// per-metric summaries — problem clusters, critical clusters with
+// attribution, and coverage — that the temporal analyses (§4), the
+// breakdowns (§4.3), and the what-if simulations (§5) consume.
+//
+// Epochs are analysed independently and in parallel; the retained summaries
+// are compact (cluster keys and tallies, never raw sessions), so two-week
+// traces analyse in memory comfortably.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/critical"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/session"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Config parameterises the analysis.
+type Config struct {
+	// Thresholds are the problem-session and problem-cluster thresholds.
+	Thresholds metric.Thresholds
+	// MaxDims caps the attribute-subset sizes enumerated (0 = all seven,
+	// the paper's full hierarchy).
+	MaxDims int
+	// Options tunes the critical-cluster detector.
+	Options critical.Options
+	// Workers bounds analysis parallelism (0 = GOMAXPROCS).
+	Workers int
+	// KeepProblemKeys retains the per-epoch problem-cluster key sets
+	// (needed by the prevalence/persistence analyses; on by default in
+	// DefaultConfig).
+	KeepProblemKeys bool
+}
+
+// DefaultConfig returns the analysis configuration used across the
+// reproduction, with the cluster-size floor scaled to the epoch volume.
+func DefaultConfig(sessionsPerEpoch int) Config {
+	return Config{
+		Thresholds:      metric.Default().ScaleMinSessions(sessionsPerEpoch),
+		Options:         critical.DefaultOptions(),
+		KeepProblemKeys: true,
+	}
+}
+
+// CriticalSummary is the retained record of one critical cluster.
+type CriticalSummary struct {
+	Key                attr.Key
+	Sessions           int32
+	Problems           int32
+	Ratio              float64
+	AttributedProblems float64
+	AttributedSessions float64
+	ProblemClusters    float64
+}
+
+// MetricSummary is the retained analysis of one (epoch, metric) pair.
+type MetricSummary struct {
+	Metric         metric.Metric
+	GlobalSessions int32
+	GlobalProblems int32
+	GlobalRatio    float64
+	Threshold      float64
+
+	// NumProblemClusters counts the epoch's problem clusters.
+	NumProblemClusters int
+	// ProblemKeys holds the problem-cluster keys when retained.
+	ProblemKeys []attr.Key
+	// Critical lists the epoch's critical clusters, sorted by key.
+	Critical []CriticalSummary
+	// CoveredProblems counts problem sessions inside ≥1 critical cluster.
+	CoveredProblems int32
+	// ProblemsInProblemClusters counts problem sessions inside ≥1 problem
+	// cluster.
+	ProblemsInProblemClusters int32
+}
+
+// CriticalCoverage returns the fraction of problem sessions covered by
+// critical clusters.
+func (ms *MetricSummary) CriticalCoverage() float64 {
+	if ms.GlobalProblems == 0 {
+		return 0
+	}
+	return float64(ms.CoveredProblems) / float64(ms.GlobalProblems)
+}
+
+// ProblemCoverage returns the fraction of problem sessions inside problem
+// clusters.
+func (ms *MetricSummary) ProblemCoverage() float64 {
+	if ms.GlobalProblems == 0 {
+		return 0
+	}
+	return float64(ms.ProblemsInProblemClusters) / float64(ms.GlobalProblems)
+}
+
+// CriticalSet returns the epoch's critical keys as a set.
+func (ms *MetricSummary) CriticalSet() map[attr.Key]bool {
+	set := make(map[attr.Key]bool, len(ms.Critical))
+	for i := range ms.Critical {
+		set[ms.Critical[i].Key] = true
+	}
+	return set
+}
+
+// EpochResult bundles the four metric summaries of one epoch.
+type EpochResult struct {
+	Epoch   epoch.Index
+	Metrics [metric.NumMetrics]MetricSummary
+}
+
+// TraceResult is the full analysis of a trace.
+type TraceResult struct {
+	Trace      epoch.Range
+	Thresholds metric.Thresholds
+	// Epochs holds one result per epoch, ordered; index i is epoch
+	// Trace.Start+i.
+	Epochs []EpochResult
+}
+
+// At returns the result of epoch e, or nil when outside the trace.
+func (tr *TraceResult) At(e epoch.Index) *EpochResult {
+	if !tr.Trace.Contains(e) {
+		return nil
+	}
+	return &tr.Epochs[int(e-tr.Trace.Start)]
+}
+
+// Slice returns a TraceResult restricted to sub-range r (shared epochs).
+func (tr *TraceResult) Slice(r epoch.Range) *TraceResult {
+	if r.Start < tr.Trace.Start {
+		r.Start = tr.Trace.Start
+	}
+	if r.End > tr.Trace.End {
+		r.End = tr.Trace.End
+	}
+	return &TraceResult{
+		Trace:      r,
+		Thresholds: tr.Thresholds,
+		Epochs:     tr.Epochs[int(r.Start-tr.Trace.Start):int(r.End-tr.Trace.Start)],
+	}
+}
+
+// AnalyzeEpoch analyses one epoch of digested sessions.
+func AnalyzeEpoch(e epoch.Index, lites []cluster.Lite, cfg Config) (*EpochResult, error) {
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tbl := cluster.NewTable(e, lites, cfg.MaxDims)
+	res := &EpochResult{Epoch: e}
+	for _, m := range metric.All() {
+		view, err := cluster.BuildView(tbl, m, cfg.Thresholds)
+		if err != nil {
+			return nil, err
+		}
+		det := critical.DetectOpts(view, cfg.Options)
+		res.Metrics[m] = summarize(m, view, det, cfg.KeepProblemKeys)
+	}
+	return res, nil
+}
+
+func summarize(m metric.Metric, v *cluster.View, det *critical.Result, keepProblemKeys bool) MetricSummary {
+	ms := MetricSummary{
+		Metric:                    m,
+		GlobalSessions:            v.GlobalSessions,
+		GlobalProblems:            v.GlobalProblems,
+		GlobalRatio:               v.GlobalRatio,
+		Threshold:                 v.Threshold,
+		NumProblemClusters:        len(v.Problem),
+		CoveredProblems:           det.CoveredProblems,
+		ProblemsInProblemClusters: det.ProblemsInProblemClusters,
+	}
+	if keepProblemKeys {
+		ms.ProblemKeys = make([]attr.Key, 0, len(v.Problem))
+		for k := range v.Problem {
+			ms.ProblemKeys = append(ms.ProblemKeys, k)
+		}
+		sort.Slice(ms.ProblemKeys, func(i, j int) bool { return keyLess(ms.ProblemKeys[i], ms.ProblemKeys[j]) })
+	}
+	for _, k := range det.Keys() {
+		c := det.Critical[k]
+		ms.Critical = append(ms.Critical, CriticalSummary{
+			Key:                k,
+			Sessions:           c.Counts.Sessions(m),
+			Problems:           c.Counts.Problems[m],
+			Ratio:              c.Counts.Ratio(m),
+			AttributedProblems: c.AttributedProblems,
+			AttributedSessions: c.AttributedSessions,
+			ProblemClusters:    c.ProblemClusters,
+		})
+	}
+	return ms
+}
+
+func keyLess(a, b attr.Key) bool {
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	for d := attr.Dim(0); d < attr.NumDims; d++ {
+		if a.Vals[d] != b.Vals[d] {
+			return a.Vals[d] < b.Vals[d]
+		}
+	}
+	return false
+}
+
+// AnalyzeGenerator regenerates every epoch from the synthetic generator and
+// analyses them in parallel.
+func AnalyzeGenerator(g *synth.Generator, cfg Config) (*TraceResult, error) {
+	tr := &TraceResult{
+		Trace:      g.Config().Trace,
+		Thresholds: cfg.Thresholds,
+		Epochs:     make([]EpochResult, g.Config().Trace.Len()),
+	}
+	err := g.ForEachEpoch(cfg.Workers, func(e epoch.Index, batch []session.Session) error {
+		lites := make([]cluster.Lite, len(batch))
+		for i := range batch {
+			lites[i] = cluster.Digest(&batch[i], cfg.Thresholds)
+		}
+		res, err := AnalyzeEpoch(e, lites, cfg)
+		if err != nil {
+			return err
+		}
+		tr.Epochs[int(e-tr.Trace.Start)] = *res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// AnalyzeTrace streams a trace reader (sessions ordered by epoch, as the
+// generator and collector write them) and analyses each epoch; epochs are
+// dispatched to a worker pool as they complete.
+func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
+	type job struct {
+		e     epoch.Index
+		lites []cluster.Lite
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		results  = make(map[epoch.Index]*EpochResult)
+	)
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := AnalyzeEpoch(j.e, j.lites, cfg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					results[j.e] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var (
+		cur   epoch.Index
+		lites []cluster.Lite
+		any   bool
+		lo    epoch.Index
+		hi    epoch.Index
+	)
+	flush := func() {
+		if len(lites) > 0 {
+			jobs <- job{e: cur, lites: lites}
+			lites = nil
+		}
+	}
+	var s session.Session
+	for {
+		err := r.Next(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			close(jobs)
+			wg.Wait()
+			return nil, err
+		}
+		if !any {
+			any = true
+			cur, lo, hi = s.Epoch, s.Epoch, s.Epoch
+		}
+		if s.Epoch != cur {
+			if s.Epoch < cur {
+				close(jobs)
+				wg.Wait()
+				return nil, fmt.Errorf("core: trace not ordered by epoch (%d after %d)", s.Epoch, cur)
+			}
+			flush()
+			cur = s.Epoch
+		}
+		if s.Epoch > hi {
+			hi = s.Epoch
+		}
+		lites = append(lites, cluster.Digest(&s, cfg.Thresholds))
+	}
+	flush()
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if !any {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+
+	tr := &TraceResult{
+		Trace:      epoch.Range{Start: lo, End: hi + 1},
+		Thresholds: cfg.Thresholds,
+		Epochs:     make([]EpochResult, int(hi-lo)+1),
+	}
+	for e, res := range results {
+		tr.Epochs[int(e-lo)] = *res
+	}
+	// Epochs absent from the file remain zero-valued with their index set.
+	for i := range tr.Epochs {
+		if tr.Epochs[i].Epoch == 0 && epoch.Index(i)+lo != 0 {
+			tr.Epochs[i].Epoch = lo + epoch.Index(i)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/session"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func smallGen(t *testing.T, epochs int, perEpoch int) *synth.Generator {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: epoch.Index(epochs)}
+	cfg.SessionsPerEpoch = perEpoch
+	cfg.Events.Trace = cfg.Trace
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAnalyzeEpochBasics(t *testing.T) {
+	var lites []cluster.Lite
+	for i := 0; i < 100; i++ {
+		var l cluster.Lite
+		l.Attrs[attr.CDN] = 1
+		if i < 60 {
+			l.Bits |= 1 << metric.BufRatio
+			l.Attrs[attr.CDN] = 0
+		}
+		lites = append(lites, l)
+	}
+	cfg := DefaultConfig(100)
+	cfg.Thresholds.MinClusterSessions = 20
+	res, err := AnalyzeEpoch(5, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 5 {
+		t.Errorf("Epoch = %d", res.Epoch)
+	}
+	ms := &res.Metrics[metric.BufRatio]
+	if ms.GlobalSessions != 100 || ms.GlobalProblems != 60 {
+		t.Errorf("globals = %d/%d", ms.GlobalSessions, ms.GlobalProblems)
+	}
+	if ms.NumProblemClusters == 0 || len(ms.Critical) == 0 {
+		t.Errorf("no clusters detected: %d problem, %d critical", ms.NumProblemClusters, len(ms.Critical))
+	}
+	if len(ms.ProblemKeys) != ms.NumProblemClusters {
+		t.Errorf("problem keys %d != count %d", len(ms.ProblemKeys), ms.NumProblemClusters)
+	}
+	if ms.CriticalCoverage() <= 0 || ms.CriticalCoverage() > 1 {
+		t.Errorf("coverage = %v", ms.CriticalCoverage())
+	}
+
+	bad := cfg
+	bad.Thresholds.ProblemRatioFactor = 0.5
+	if _, err := AnalyzeEpoch(0, lites, bad); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+}
+
+func TestAnalyzeGeneratorParallelDeterminism(t *testing.T) {
+	g := smallGen(t, 12, 800)
+	cfg := DefaultConfig(800)
+	cfg.Workers = 4
+	a, err := AnalyzeGenerator(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := AnalyzeGenerator(smallGen(t, 12, 800), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Epochs) != 12 || len(b.Epochs) != 12 {
+		t.Fatalf("epoch counts: %d, %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		for _, m := range metric.All() {
+			am, bm := &a.Epochs[i].Metrics[m], &b.Epochs[i].Metrics[m]
+			if am.GlobalProblems != bm.GlobalProblems ||
+				am.NumProblemClusters != bm.NumProblemClusters ||
+				len(am.Critical) != len(bm.Critical) {
+				t.Fatalf("epoch %d metric %v differs between worker counts", i, m)
+			}
+			for j := range am.Critical {
+				if am.Critical[j].Key != bm.Critical[j].Key {
+					t.Fatalf("epoch %d metric %v critical order differs", i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceResultAtAndSlice(t *testing.T) {
+	g := smallGen(t, 6, 300)
+	tr, err := AnalyzeGenerator(g, DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(3) == nil || tr.At(3).Epoch != 3 {
+		t.Error("At(3) wrong")
+	}
+	if tr.At(-1) != nil || tr.At(6) != nil {
+		t.Error("At outside range should be nil")
+	}
+	sl := tr.Slice(epoch.Range{Start: 2, End: 5})
+	if sl.Trace.Len() != 3 || sl.At(2) == nil || sl.At(5) != nil {
+		t.Error("Slice wrong")
+	}
+	// Clamping.
+	sl = tr.Slice(epoch.Range{Start: -5, End: 99})
+	if sl.Trace != tr.Trace {
+		t.Error("Slice should clamp to trace")
+	}
+}
+
+func TestAnalyzeTraceMatchesGenerator(t *testing.T) {
+	g := smallGen(t, 5, 400)
+	cfg := DefaultConfig(400)
+
+	direct, err := AnalyzeGenerator(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through a trace container.
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.HeaderFor(g.World().Space(), 5, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ForEach(func(s *session.Session) error { return w.Write(s) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := AnalyzeTrace(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fromFile.Trace != direct.Trace {
+		t.Fatalf("trace ranges differ: %+v vs %+v", fromFile.Trace, direct.Trace)
+	}
+	for i := range direct.Epochs {
+		for _, m := range metric.All() {
+			a, b := &direct.Epochs[i].Metrics[m], &fromFile.Epochs[i].Metrics[m]
+			if a.GlobalProblems != b.GlobalProblems || a.NumProblemClusters != b.NumProblemClusters ||
+				a.CoveredProblems != b.CoveredProblems || len(a.Critical) != len(b.Critical) {
+				t.Fatalf("epoch %d metric %v differs between direct and file analysis", i, m)
+			}
+		}
+	}
+}
+
+func TestAnalyzeTraceErrors(t *testing.T) {
+	// Empty trace.
+	var buf bytes.Buffer
+	g := smallGen(t, 1, 100)
+	w, _ := trace.NewWriter(&buf, trace.HeaderFor(g.World().Space(), 0, 1), false)
+	w.Close()
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeTrace(r, DefaultConfig(100)); err == nil {
+		t.Error("empty trace accepted")
+	}
+
+	// Out-of-order epochs.
+	buf.Reset()
+	w, _ = trace.NewWriter(&buf, trace.HeaderFor(g.World().Space(), 2, 1), false)
+	s1 := session.Session{ID: 1, Epoch: 1, EventIDs: session.NoEvents}
+	s0 := session.Session{ID: 2, Epoch: 0, EventIDs: session.NoEvents}
+	w.Write(&s1)
+	w.Write(&s0)
+	w.Close()
+	r, err = trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeTrace(r, DefaultConfig(100)); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
+
+// TestCriticalSetAndSummaryHelpers exercises the summary accessors.
+func TestCriticalSetAndSummaryHelpers(t *testing.T) {
+	ms := MetricSummary{GlobalProblems: 100, CoveredProblems: 40, ProblemsInProblemClusters: 60}
+	ms.Critical = []CriticalSummary{{Key: attr.NewKey(map[attr.Dim]int32{attr.CDN: 1})}}
+	if ms.CriticalCoverage() != 0.4 || ms.ProblemCoverage() != 0.6 {
+		t.Error("coverage helpers wrong")
+	}
+	set := ms.CriticalSet()
+	if len(set) != 1 || !set[attr.NewKey(map[attr.Dim]int32{attr.CDN: 1})] {
+		t.Error("CriticalSet wrong")
+	}
+	empty := MetricSummary{}
+	if empty.CriticalCoverage() != 0 || empty.ProblemCoverage() != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestAnalyzeEpochMaxDimsAndNoProblemKeys(t *testing.T) {
+	g := smallGen(t, 1, 500)
+	batch := g.EpochSessions(0)
+	cfg := DefaultConfig(500)
+	lites := make([]cluster.Lite, len(batch))
+	for i := range batch {
+		lites[i] = cluster.Digest(&batch[i], cfg.Thresholds)
+	}
+
+	cfg.MaxDims = 2
+	cfg.KeepProblemKeys = false
+	res, err := AnalyzeEpoch(0, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		ms := &res.Metrics[m]
+		if ms.ProblemKeys != nil {
+			t.Errorf("%v: problem keys retained despite KeepProblemKeys=false", m)
+		}
+		for _, cs := range ms.Critical {
+			if cs.Key.Size() > 2 {
+				t.Errorf("%v: critical key %v exceeds MaxDims", m, cs.Key)
+			}
+		}
+	}
+}

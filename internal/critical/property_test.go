@@ -1,0 +1,116 @@
+package critical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/metric"
+)
+
+// TestDetectInvariants drives the detector with randomized small worlds and
+// checks structural invariants that must hold regardless of the data:
+//
+//  1. every critical cluster is a problem cluster;
+//  2. covered problem sessions never exceed the global problem count;
+//  3. per-cluster attributions sum to the covered counts (no double
+//     counting from the equal-split rule);
+//  4. attributed sessions of a cluster never exceed its session count.
+func TestDetectInvariants(t *testing.T) {
+	f := func(cells [12]uint16, probs [12]uint8, seed uint8) bool {
+		var sessions []cluster.Lite
+		for i := 0; i < 12; i++ {
+			n := int(cells[i]%120) + 5
+			p := int(probs[i]) % (n + 1)
+			asn := int32(i % 4)
+			cdn := int32((i / 4) % 3)
+			site := int32(int(seed) % 5)
+			for j := 0; j < n; j++ {
+				var l cluster.Lite
+				l.Attrs[attr.ASN] = asn
+				l.Attrs[attr.CDN] = cdn
+				l.Attrs[attr.Site] = site + int32(j%2)
+				if j < p {
+					l.Bits |= 1 << metric.BufRatio
+				}
+				sessions = append(sessions, l)
+			}
+		}
+		tbl := cluster.NewTable(0, sessions, 0)
+		th := metric.Default()
+		th.MinClusterSessions = 20
+		v, err := cluster.BuildView(tbl, metric.BufRatio, th)
+		if err != nil {
+			return false
+		}
+		r := Detect(v)
+
+		// (1) every critical key is a problem cluster (dedupe only removes).
+		for k := range r.Critical {
+			if _, ok := v.Problem[k]; !ok {
+				return false
+			}
+		}
+		// (2) coverage bound.
+		if r.CoveredProblems > v.GlobalProblems {
+			return false
+		}
+		if r.ProblemsInProblemClusters > v.GlobalProblems {
+			return false
+		}
+		if r.CoveredProblems > r.ProblemsInProblemClusters {
+			return false
+		}
+		// (3) attribution conservation.
+		var attrProblems, attrSessions float64
+		for _, c := range r.Critical {
+			attrProblems += c.AttributedProblems
+			attrSessions += c.AttributedSessions
+			// (4) per-cluster bound.
+			if c.AttributedSessions > float64(c.Counts.Sessions(metric.BufRatio))+1e-6 {
+				return false
+			}
+			if c.AttributedProblems > c.AttributedSessions+1e-6 {
+				return false
+			}
+		}
+		if attrProblems > float64(r.CoveredProblems)+1e-6 {
+			return false
+		}
+		if attrProblems < float64(r.CoveredProblems)-1e-6 {
+			return false
+		}
+		_ = attrSessions
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectWithZScoreDisabled re-runs the Fig. 4 example under the paper's
+// literal rule (MinZScore = 0) — the worked examples must hold both ways.
+func TestDetectWithZScoreDisabled(t *testing.T) {
+	var sessions []cluster.Lite
+	sessions = addCell(sessions, 0, 0, 100, 30)
+	sessions = addCell(sessions, 0, 1, 100, 10)
+	sessions = addCell(sessions, 1, 0, 100, 30)
+	sessions = addCell(sessions, 1, 1, 400, 20)
+	tbl := cluster.NewTable(0, sessions, 0)
+	th := metric.Default()
+	th.MinClusterSessions = 20
+	th.MinZScore = 0
+	v, err := cluster.BuildView(tbl, metric.BufRatio, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Detect(v)
+	cdn1 := attr.NewKey(map[attr.Dim]int32{attr.CDN: 0})
+	if _, ok := r.Critical[cdn1]; !ok {
+		t.Fatalf("CDN1 not critical under the literal rule; got %v", r.Keys())
+	}
+	if len(r.Critical) != 1 {
+		t.Errorf("critical set = %v, want exactly {CDN1}", r.Keys())
+	}
+}

@@ -1,0 +1,133 @@
+// Package epoch provides the discrete one-hour time base of the analysis.
+// The paper divides its two-week dataset into one-hour epochs (§3.1); all
+// clustering, prevalence, and persistence computations are per-epoch.
+package epoch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Index is a zero-based hour index into the trace.
+type Index int32
+
+const (
+	// HoursPerDay and HoursPerWeek define the calendar used when slicing
+	// traces into training/test windows (paper §5.2).
+	HoursPerDay  = 24
+	HoursPerWeek = 7 * HoursPerDay
+
+	// DefaultTraceEpochs is the paper's two-week span in hours.
+	DefaultTraceEpochs = 2 * HoursPerWeek
+)
+
+// Duration is the length of one epoch.
+const Duration = time.Hour
+
+// Range is a half-open interval of epochs [Start, End).
+type Range struct {
+	Start Index
+	End   Index
+}
+
+// NewRange builds a validated range.
+func NewRange(start, end Index) (Range, error) {
+	if start < 0 || end < start {
+		return Range{}, fmt.Errorf("epoch: invalid range [%d, %d)", start, end)
+	}
+	return Range{Start: start, End: end}, nil
+}
+
+// Len returns the number of epochs in the range.
+func (r Range) Len() int { return int(r.End - r.Start) }
+
+// Contains reports whether e falls in the range.
+func (r Range) Contains(e Index) bool { return e >= r.Start && e < r.End }
+
+// Split partitions the range at an absolute epoch boundary, returning
+// [Start, at) and [at, End). The boundary is clamped to the range.
+func (r Range) Split(at Index) (Range, Range) {
+	if at < r.Start {
+		at = r.Start
+	}
+	if at > r.End {
+		at = r.End
+	}
+	return Range{r.Start, at}, Range{at, r.End}
+}
+
+// Week returns the week-long sub-range starting at week w (zero-based),
+// clamped to the range.
+func (r Range) Week(w int) Range {
+	start := r.Start + Index(w*HoursPerWeek)
+	end := start + HoursPerWeek
+	if start > r.End {
+		start = r.End
+	}
+	if end > r.End {
+		end = r.End
+	}
+	return Range{start, end}
+}
+
+// Epochs returns each index in the range, in order.
+func (r Range) Epochs() []Index {
+	out := make([]Index, 0, r.Len())
+	for e := r.Start; e < r.End; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Clock maps epoch indexes to wall-clock times for display, anchored at a
+// trace start time.
+type Clock struct {
+	Start time.Time
+}
+
+// Time returns the wall-clock start of epoch e.
+func (c Clock) Time(e Index) time.Time {
+	return c.Start.Add(time.Duration(e) * Duration)
+}
+
+// Epoch returns the epoch containing wall-clock time t. Times before the
+// anchor map to negative indexes.
+func (c Clock) Epoch(t time.Time) Index {
+	d := t.Sub(c.Start)
+	e := d / Duration
+	if d < 0 && d%Duration != 0 {
+		e--
+	}
+	return Index(e)
+}
+
+// Label renders the epoch in the compact "3/11 5h" style used by the
+// paper's time axes.
+func (c Clock) Label(e Index) string {
+	t := c.Time(e)
+	return fmt.Sprintf("%d/%d %dh", int(t.Month()), t.Day(), t.Hour())
+}
+
+// DefaultClock anchors traces at the paper's first timestamp (March 11,
+// UTC); the year is immaterial to the analysis.
+func DefaultClock() Clock {
+	return Clock{Start: time.Date(2013, time.March, 11, 0, 0, 0, 0, time.UTC)}
+}
+
+// HourOfDay returns the hour-of-day (0–23) of epoch e, used by diurnal
+// workload models.
+func HourOfDay(e Index) int {
+	h := int(e) % HoursPerDay
+	if h < 0 {
+		h += HoursPerDay
+	}
+	return h
+}
+
+// DayOfTrace returns the zero-based day number of epoch e.
+func DayOfTrace(e Index) int {
+	if e < 0 {
+		return int((e - HoursPerDay + 1) / HoursPerDay)
+	}
+	return int(e) / HoursPerDay
+}

@@ -1,0 +1,122 @@
+package epoch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewRange(t *testing.T) {
+	r, err := NewRange(0, 168)
+	if err != nil {
+		t.Fatalf("NewRange: %v", err)
+	}
+	if r.Len() != 168 {
+		t.Errorf("Len() = %d, want 168", r.Len())
+	}
+	if _, err := NewRange(-1, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := NewRange(5, 4); err == nil {
+		t.Error("end before start accepted")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{10, 20}
+	for _, c := range []struct {
+		e    Index
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := r.Contains(c.e); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestRangeSplit(t *testing.T) {
+	r := Range{0, 336}
+	train, test := r.Split(96) // paper's intra-week split: first 4 days
+	if train.Len() != 96 || test.Start != 96 || test.End != 336 {
+		t.Errorf("Split(96) = %+v, %+v", train, test)
+	}
+	lo, hi := r.Split(-5)
+	if lo.Len() != 0 || hi != r {
+		t.Errorf("Split below range = %+v, %+v", lo, hi)
+	}
+	lo, hi = r.Split(999)
+	if lo != r || hi.Len() != 0 {
+		t.Errorf("Split above range = %+v, %+v", lo, hi)
+	}
+}
+
+func TestRangeWeek(t *testing.T) {
+	r := Range{0, DefaultTraceEpochs}
+	w0, w1 := r.Week(0), r.Week(1)
+	if w0.Start != 0 || w0.End != HoursPerWeek {
+		t.Errorf("Week(0) = %+v", w0)
+	}
+	if w1.Start != HoursPerWeek || w1.End != 2*HoursPerWeek {
+		t.Errorf("Week(1) = %+v", w1)
+	}
+	short := Range{0, 100}
+	w1 = short.Week(1)
+	if w1.Len() != 0 {
+		t.Errorf("Week beyond trace should be empty, got %+v", w1)
+	}
+}
+
+func TestRangeEpochs(t *testing.T) {
+	r := Range{3, 6}
+	got := r.Epochs()
+	want := []Index{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Epochs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Epochs()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClockRoundTrip(t *testing.T) {
+	c := DefaultClock()
+	for _, e := range []Index{0, 1, 167, 335} {
+		if got := c.Epoch(c.Time(e)); got != e {
+			t.Errorf("Epoch(Time(%d)) = %d", e, got)
+		}
+	}
+	// Mid-epoch times map to the containing epoch.
+	if got := c.Epoch(c.Time(5).Add(30 * time.Minute)); got != 5 {
+		t.Errorf("mid-epoch mapped to %d, want 5", got)
+	}
+	// Before the anchor maps negative.
+	if got := c.Epoch(c.Start.Add(-time.Minute)); got != -1 {
+		t.Errorf("pre-anchor epoch = %d, want -1", got)
+	}
+}
+
+func TestClockLabel(t *testing.T) {
+	c := DefaultClock()
+	if got := c.Label(0); got != "3/11 0h" {
+		t.Errorf("Label(0) = %q, want 3/11 0h", got)
+	}
+	if got := c.Label(25); got != "3/12 1h" {
+		t.Errorf("Label(25) = %q, want 3/12 1h", got)
+	}
+}
+
+func TestHourOfDayAndDay(t *testing.T) {
+	if HourOfDay(0) != 0 || HourOfDay(23) != 23 || HourOfDay(24) != 0 || HourOfDay(49) != 1 {
+		t.Error("HourOfDay arithmetic wrong")
+	}
+	if HourOfDay(-1) != 23 {
+		t.Errorf("HourOfDay(-1) = %d, want 23", HourOfDay(-1))
+	}
+	if DayOfTrace(0) != 0 || DayOfTrace(23) != 0 || DayOfTrace(24) != 1 || DayOfTrace(335) != 13 {
+		t.Error("DayOfTrace arithmetic wrong")
+	}
+	if DayOfTrace(-1) != -1 {
+		t.Errorf("DayOfTrace(-1) = %d, want -1", DayOfTrace(-1))
+	}
+}

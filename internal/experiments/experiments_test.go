@@ -1,0 +1,524 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/synth"
+	"repro/internal/whatif"
+)
+
+// tinySuite builds a 36-epoch, low-volume suite for fast end-to-end tests.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	genCfg := synth.DefaultConfig()
+	genCfg.Trace = epoch.Range{Start: 0, End: 36}
+	genCfg.SessionsPerEpoch = 2500
+	genCfg.Events.Trace = genCfg.Trace
+	coreCfg := core.DefaultConfig(genCfg.SessionsPerEpoch)
+	s, err := NewSuite(genCfg, coreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var shared *Suite
+
+func suite(t *testing.T) *Suite {
+	if shared == nil {
+		shared = tinySuite(t)
+	}
+	return shared
+}
+
+func TestFig1(t *testing.T) {
+	s := suite(t)
+	var buf bytes.Buffer
+	cdfs, err := s.Fig1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cdfs {
+		if c.N() == 0 {
+			t.Fatalf("cdf %d empty", i)
+		}
+	}
+	// Shape checks against the paper: a visible >10% buffering tail, most
+	// sessions below 2 Mbps.
+	if tail := cdfs[0].Exceeds(0.10); tail < 0.01 || tail > 0.2 {
+		t.Errorf("buffering >10%% tail = %v", tail)
+	}
+	if below := cdfs[1].At(2000); below < 0.5 {
+		t.Errorf("bitrate below 2 Mbps = %v, want majority", below)
+	}
+	if !strings.Contains(buf.String(), "Figure 1(a)") {
+		t.Error("rendering missing")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s := suite(t)
+	series, err := s.Fig2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		if len(series[m]) != s.Week1.Trace.Len() {
+			t.Fatalf("series %v length %d", m, len(series[m]))
+		}
+		for _, v := range series[m] {
+			if v < 0 || v > 1 {
+				t.Fatalf("ratio %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	s := suite(t)
+	prev, err := s.Fig7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		if prev[m].N() == 0 {
+			t.Fatalf("no problem clusters for %v", m)
+		}
+		// Prevalence values are in (0, 1].
+		if prev[m].Quantile(1) > 1 || prev[m].Quantile(0) <= 0 {
+			t.Errorf("%v prevalence range wrong", m)
+		}
+	}
+	med, max, err := s.Fig8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		if med[m].Quantile(0.5) > max[m].Quantile(0.5) {
+			t.Errorf("%v median persistence above max", m)
+		}
+	}
+}
+
+func TestFig9AndTable1(t *testing.T) {
+	s := suite(t)
+	probs, crits, err := s.Fig9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != len(crits) || len(probs) != s.Week1.Trace.Len() {
+		t.Fatal("series lengths wrong")
+	}
+	sum := func(xs []int) int {
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+	if sum(crits) >= sum(probs) {
+		t.Errorf("critical clusters (%d) should be far fewer than problem clusters (%d)",
+			sum(crits), sum(probs))
+	}
+	rows, err := s.Table1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		if r.MeanProblemClusters <= 0 {
+			t.Errorf("%v: no problem clusters", m)
+		}
+		if r.CriticalFraction <= 0 || r.CriticalFraction >= 1 {
+			t.Errorf("%v: critical fraction = %v", m, r.CriticalFraction)
+		}
+		if r.MeanCriticalCoverage > r.MeanProblemCoverage+1e-9 {
+			t.Errorf("%v: critical coverage exceeds problem coverage", m)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	s := suite(t)
+	bds, err := s.Fig10(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		b := bds[m]
+		if b.Total <= 0 {
+			t.Fatalf("%v: no problems", m)
+		}
+		var attributed float64
+		for _, v := range b.ByMask {
+			attributed += v
+		}
+		total := attributed + b.NotAttributed + b.NotInProblemCluster
+		if total > b.Total*1.0001 {
+			t.Errorf("%v: slices sum %v exceed total %v", m, total, b.Total)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	s := suite(t)
+	out, err := s.Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("pairs = %d", len(out))
+	}
+	for p, v := range out {
+		if v < 0 || v > 1 {
+			t.Errorf("%v: jaccard %v", p, v)
+		}
+	}
+	// The paper's key observation: cross-metric overlap is low.
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum/6 > 0.5 {
+		t.Errorf("mean cross-metric Jaccard %v suspiciously high", sum/6)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no prevalent critical clusters; chronic events should produce some")
+	}
+	tagged := 0
+	for _, r := range rows {
+		if r.Prevalence < 0.6 {
+			t.Errorf("row below the 60%% cut: %+v", r)
+		}
+		if r.Tag != "" {
+			tagged++
+		}
+		if r.Key.Size() != 1 {
+			t.Errorf("restricted rows must be single-attribute: %v", r.Key)
+		}
+	}
+	if tagged == 0 {
+		t.Error("no rows matched ground-truth chronic tags")
+	}
+}
+
+func TestFig11And12(t *testing.T) {
+	s := suite(t)
+	curves, err := s.Fig11(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, perMetric := range curves {
+		for m, pts := range perMetric {
+			for i := 1; i < len(pts); i++ {
+				if pts[i].Alleviated+1e-9 < pts[i-1].Alleviated {
+					t.Errorf("%v/%v curve not monotone", r, m)
+				}
+			}
+			last := pts[len(pts)-1].Alleviated
+			if last <= 0 || last > 1 {
+				t.Errorf("%v/%v full alleviation = %v", r, m, last)
+			}
+		}
+	}
+	f12, err := s.Fig12(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCurve := f12["Any"]
+	union := f12["Site+CDN+ASN+ConnType"]
+	last := len(anyCurve) - 1
+	if anyCurve[last].Alleviated < union[last].Alleviated-1e-9 {
+		t.Error("Any selection should dominate the union restriction")
+	}
+	for _, single := range []string{"Site", "ASN", "CDN", "ConnType"} {
+		if f12[single][last].Alleviated > anyCurve[last].Alleviated+1e-9 {
+			t.Errorf("%s alone beats Any", single)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	s := suite(t)
+	// The tiny suite has no week 2; intra-week still works on 36 epochs.
+	rows, err := s.Table4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m].IntraWeek
+		if r.New < 0 || r.New > 1 || r.Potential < 0 || r.Potential > 1 {
+			t.Errorf("%v: intra-week out of range: %+v", m, r)
+		}
+		if r.New > r.Potential+0.2 {
+			t.Errorf("%v: learned selection hugely beats oracle: %+v", m, r)
+		}
+	}
+}
+
+func TestFig13AndTable5(t *testing.T) {
+	s := suite(t)
+	res, err := s.Fig13(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != s.Week1.Trace.Len() {
+		t.Fatal("series length wrong")
+	}
+	for _, p := range res.Series {
+		if p.AfterReactive > p.Original+1e-9 || p.AfterReactive < 0 {
+			t.Errorf("reactive increased problems at epoch %d", p.Epoch)
+		}
+	}
+	rows, err := s.Table5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		if r.New > r.Potential+1e-9 {
+			t.Errorf("%v: reactive beats potential", m)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := suite(t)
+	vals, err := s.Validate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		v := vals[m]
+		if v.DetectedEpochs == 0 {
+			t.Errorf("%v: no detections", m)
+			continue
+		}
+		if v.Precision() < 0.3 {
+			t.Errorf("%v: ground-truth precision %v too low", m, v.Precision())
+		}
+		if v.ActiveAnchors > 0 && v.Recall() < 0.3 {
+			t.Errorf("%v: ground-truth recall %v too low", m, v.Recall())
+		}
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	s := suite(t)
+	rows, err := s.ThresholdSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Looser factor admits at least as many problem clusters as stricter.
+	var loose, strict float64
+	for _, r := range rows {
+		if r.BufRatioCut == 0.05 {
+			switch r.Factor {
+			case 1.25:
+				loose = r.MeanProblem
+			case 2.0:
+				strict = r.MeanProblem
+			}
+		}
+	}
+	if loose < strict {
+		t.Errorf("factor 1.25 found %v problem clusters < factor 2.0's %v", loose, strict)
+	}
+}
+
+func TestCompareHHH(t *testing.T) {
+	s := suite(t)
+	out, err := s.CompareHHH(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's argument quantified: critical clusters point at injected
+	// causes much more reliably than volume-ranked heavy hitters.
+	if out.CriticalPrecision < out.HHHPrecision {
+		t.Errorf("critical precision %v below HHH %v", out.CriticalPrecision, out.HHHPrecision)
+	}
+	if out.CriticalPrecision <= 0 {
+		t.Error("critical precision should be positive")
+	}
+}
+
+func TestHideAttribute(t *testing.T) {
+	s := suite(t)
+	out, err := s.HideAttribute(nil, attr.ConnType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FullCoverage <= 0 {
+		t.Fatal("no coverage with full attributes")
+	}
+	// Hiding an attribute can only reduce (or leave) explanatory power
+	// modulo small-sample noise.
+	if out.HiddenCoverage > out.FullCoverage+0.1 {
+		t.Errorf("hiding ConnType raised coverage: %+v", out)
+	}
+}
+
+func TestHeadlines(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Headlines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		if r.MedianPersist2h < 0 || r.MedianPersist2h > 1 {
+			t.Errorf("%v: bad fraction %v", m, r.MedianPersist2h)
+		}
+	}
+}
+
+func TestAllRenders(t *testing.T) {
+	s := suite(t)
+	var buf bytes.Buffer
+	if err := s.All(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1(a)", "Figure 2", "Figure 7", "Figure 8(a)", "Figure 8(b)",
+		"Figure 9", "Table 1", "Figure 10(a)", "Table 2", "Table 3",
+		"Figure 11(a)", "Figure 12", "Table 4", "Figure 13", "Table 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() output missing %q", want)
+		}
+	}
+}
+
+func TestCurveRankingsAgreeAtFull(t *testing.T) {
+	s := suite(t)
+	fr := []float64{1.0}
+	a := whatif.Curve(s.Week1, metric.BufRatio, whatif.ByPrevalence, fr)
+	b := whatif.Curve(s.Week1, metric.BufRatio, whatif.ByCoverage, fr)
+	if diff := a[0].Alleviated - b[0].Alleviated; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("full-set alleviation differs across rankings: %v vs %v",
+			a[0].Alleviated, b[0].Alleviated)
+	}
+}
+
+func TestCostBenefitExperiment(t *testing.T) {
+	s := suite(t)
+	res, err := s.CostBenefit(nil, metric.JoinFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.ByBenefitPerCost) - 1
+	full := res.ByBenefitPerCost[last].Alleviated
+	if full <= 0 || full > 1 {
+		t.Fatalf("full-budget alleviation = %v", full)
+	}
+	// Both policies converge at full budget.
+	if d := full - res.ByCoverage[last].Alleviated; d > 1e-9 || d < -1e-9 {
+		t.Errorf("policies differ at full budget: %v vs %v", full, res.ByCoverage[last].Alleviated)
+	}
+	// Cost-aware selection should not trail coverage ranking by much at
+	// small budgets (usually it leads).
+	for i := range res.ByBenefitPerCost {
+		if res.ByBenefitPerCost[i].Alleviated < res.ByCoverage[i].Alleviated-0.1 {
+			t.Errorf("budget %v: benefit-per-cost %v far below coverage %v",
+				res.ByBenefitPerCost[i].Budget,
+				res.ByBenefitPerCost[i].Alleviated, res.ByCoverage[i].Alleviated)
+		}
+	}
+}
+
+func TestCriticalTemporalStats(t *testing.T) {
+	s := suite(t)
+	rows, err := s.CriticalTemporalStats(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		for _, v := range []float64{r.PrevalenceOver10pct, r.MedianPersist2h, r.MaxPersistOver24h} {
+			if v < 0 || v > 1 {
+				t.Errorf("%v: fraction %v out of range", m, v)
+			}
+		}
+	}
+}
+
+func TestStabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed stability is slow; skipped with -short")
+	}
+	s := suite(t)
+	out, err := s.StabilityAcrossSeeds(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		if out.MeanCoverage[m] <= 0 || out.MeanCoverage[m] > 1 {
+			t.Errorf("%v: mean coverage %v", m, out.MeanCoverage[m])
+		}
+		// Coverage should be a stable property of the generator family,
+		// not a single-seed fluke.
+		if out.StdCoverage[m] > 0.25 {
+			t.Errorf("%v: coverage wildly unstable across seeds (std %v)", m, out.StdCoverage[m])
+		}
+	}
+}
+
+func TestWeeklyConsistency(t *testing.T) {
+	s := suite(t)
+	// The tiny suite spans 36 epochs: week 2 is empty and must read zero.
+	rows, err := s.WeeklyConsistency(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		if r.Week1Coverage <= 0 || r.Week1Coverage > 1 {
+			t.Errorf("%v: week-1 coverage %v", m, r.Week1Coverage)
+		}
+		if r.Week2Coverage != 0 {
+			t.Errorf("%v: week-2 coverage %v on a sub-week trace", m, r.Week2Coverage)
+		}
+	}
+}
+
+func TestEngagement(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Engagement(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All() {
+		r := rows[m]
+		if r.MeanLossPerProblemMin <= 0 {
+			t.Errorf("%v: problems cost no engagement", m)
+		}
+		if r.WeeklyLossMin <= 0 || r.RecoveredTop1PctMin < 0 {
+			t.Errorf("%v: weekly/recovered = %v/%v", m, r.WeeklyLossMin, r.RecoveredTop1PctMin)
+		}
+		if r.RecoveredTop1PctMin > r.WeeklyLossMin {
+			t.Errorf("%v: recovered exceeds total loss", m)
+		}
+	}
+	// Join failures cost the most per session (the whole baseline).
+	if rows[metric.JoinFailure].MeanLossPerProblemMin <= rows[metric.Bitrate].MeanLossPerProblemMin {
+		t.Error("join failures should cost more engagement than low bitrate")
+	}
+}

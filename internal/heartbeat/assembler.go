@@ -1,0 +1,157 @@
+package heartbeat
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+// Assembler folds a heartbeat stream into completed sessions. It is safe
+// for concurrent use by multiple connection handlers.
+type Assembler struct {
+	mu      sync.Mutex
+	pending map[uint64]*pendingSession
+	emit    func(session.Session)
+	// IdleTimeout flushes sessions that stop reporting (Flush enforces
+	// it); zero disables time-based flushing.
+	IdleTimeout time.Duration
+	now         func() time.Time
+}
+
+type pendingSession struct {
+	s        session.Session
+	joined   bool
+	progress Message
+	lastSeen time.Time
+}
+
+// NewAssembler builds an assembler delivering completed sessions to emit.
+func NewAssembler(emit func(session.Session)) *Assembler {
+	return &Assembler{
+		pending:     make(map[uint64]*pendingSession),
+		emit:        emit,
+		IdleTimeout: 2 * time.Minute,
+		now:         time.Now,
+	}
+}
+
+// Handle processes one heartbeat.
+func (a *Assembler) Handle(m *Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch m.Kind {
+	case KindHello:
+		if _, dup := a.pending[m.SessionID]; dup {
+			return fmt.Errorf("heartbeat: duplicate Hello for session %d", m.SessionID)
+		}
+		a.pending[m.SessionID] = &pendingSession{
+			s: session.Session{
+				ID:       m.SessionID,
+				Epoch:    m.Epoch,
+				Attrs:    m.Attrs,
+				EventIDs: session.NoEvents,
+			},
+			lastSeen: a.now(),
+		}
+	case KindJoined:
+		p, err := a.get(m.SessionID)
+		if err != nil {
+			return err
+		}
+		p.joined = true
+		p.s.QoE.JoinTimeMS = m.JoinTimeMS
+		p.lastSeen = a.now()
+	case KindProgress:
+		p, err := a.get(m.SessionID)
+		if err != nil {
+			return err
+		}
+		if !p.joined {
+			return fmt.Errorf("heartbeat: Progress before Joined for session %d", m.SessionID)
+		}
+		p.progress = *m
+		p.lastSeen = a.now()
+	case KindEnd:
+		p, err := a.get(m.SessionID)
+		if err != nil {
+			return err
+		}
+		if !p.joined {
+			return fmt.Errorf("heartbeat: End before Joined for session %d", m.SessionID)
+		}
+		delete(a.pending, m.SessionID)
+		a.finishLocked(p, m.DurationS)
+	case KindFailed:
+		p, err := a.get(m.SessionID)
+		if err != nil {
+			return err
+		}
+		delete(a.pending, m.SessionID)
+		p.s.QoE = metric.QoE{JoinFailed: true}
+		a.emit(p.s)
+	default:
+		return fmt.Errorf("heartbeat: unknown kind %v", m.Kind)
+	}
+	return nil
+}
+
+func (a *Assembler) get(id uint64) (*pendingSession, error) {
+	p, ok := a.pending[id]
+	if !ok {
+		return nil, fmt.Errorf("heartbeat: session %d has no Hello", id)
+	}
+	return p, nil
+}
+
+// finishLocked completes a joined session from its last progress report.
+func (a *Assembler) finishLocked(p *pendingSession, durationS float64) {
+	q := &p.s.QoE
+	played := p.progress.PlayedS
+	if durationS > played {
+		played = durationS
+	}
+	total := played + p.progress.BufferingS
+	if total > 0 {
+		q.BufRatio = p.progress.BufferingS / total
+	}
+	if played > 0 {
+		q.BitrateKbps = p.progress.WeightedKbpsSec / played
+	}
+	q.DurationS = played
+	a.emit(p.s)
+}
+
+// Pending reports the number of in-flight sessions.
+func (a *Assembler) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Flush force-completes stale sessions: joined sessions finish with their
+// last progress report; sessions that never reported a player status
+// assemble as join failures (paper §2 footnote 1). With force set, every
+// pending session flushes regardless of idle time.
+func (a *Assembler) Flush(force bool) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	cutoff := a.now().Add(-a.IdleTimeout)
+	for id, p := range a.pending {
+		if !force && a.IdleTimeout > 0 && p.lastSeen.After(cutoff) {
+			continue
+		}
+		delete(a.pending, id)
+		n++
+		if p.joined {
+			a.finishLocked(p, p.progress.PlayedS)
+		} else {
+			p.s.QoE = metric.QoE{JoinFailed: true}
+			a.emit(p.s)
+		}
+	}
+	return n
+}

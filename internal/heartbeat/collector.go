@@ -1,0 +1,260 @@
+package heartbeat
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+// Collector is the measurement back end: a TCP server that decodes
+// heartbeat streams from many concurrent clients and assembles completed
+// sessions.
+type Collector struct {
+	asm *Assembler
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives per-connection protocol errors (default: log.Printf).
+	Logf func(format string, args ...any)
+
+	connsAccepted  atomic.Int64
+	framesHandled  atomic.Int64
+	protocolErrors atomic.Int64
+}
+
+// Stats is a snapshot of collector counters.
+type Stats struct {
+	ConnsAccepted  int64
+	FramesHandled  int64
+	ProtocolErrors int64
+	PendingSession int
+}
+
+// Stats returns current counters.
+func (c *Collector) Stats() Stats {
+	return Stats{
+		ConnsAccepted:  c.connsAccepted.Load(),
+		FramesHandled:  c.framesHandled.Load(),
+		ProtocolErrors: c.protocolErrors.Load(),
+		PendingSession: c.asm.Pending(),
+	}
+}
+
+// NewCollector builds a collector delivering completed sessions to emit.
+// emit may be called concurrently.
+func NewCollector(emit func(session.Session)) *Collector {
+	return &Collector{
+		asm:   NewAssembler(emit),
+		conns: make(map[net.Conn]bool),
+		Logf:  log.Printf,
+	}
+}
+
+// Assembler exposes the underlying assembler (for Flush policies).
+func (c *Collector) Assembler() *Assembler { return c.asm }
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral test
+// port) and serves until Close.
+func (c *Collector) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return errors.New("heartbeat: collector closed")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (c *Collector) Addr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return nil
+	}
+	return c.ln.Addr()
+}
+
+func (c *Collector) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed or drain deadline reached. Connections
+			// accepted before this point are still served to EOF.
+			return
+		}
+		c.connsAccepted.Add(1)
+		c.mu.Lock()
+		c.conns[conn] = true
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.ServeConn(conn)
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.mu.Unlock()
+		}()
+	}
+}
+
+// ServeConn decodes one heartbeat stream until EOF or a protocol error.
+// Exposed so tests and in-process pipelines can drive the collector over
+// net.Pipe or any io.ReadCloser.
+func (c *Collector) ServeConn(conn io.ReadCloser) {
+	defer conn.Close()
+	r := NewReader(conn)
+	var m Message
+	for {
+		if err := r.Read(&m); err != nil {
+			if err != io.EOF && c.Logf != nil {
+				c.Logf("heartbeat: connection error: %v", err)
+			}
+			return
+		}
+		c.framesHandled.Add(1)
+		if err := c.asm.Handle(&m); err != nil {
+			c.protocolErrors.Add(1)
+			if c.Logf != nil {
+				c.Logf("heartbeat: %v", err)
+			}
+			// Protocol violations drop the message, not the connection:
+			// one misbehaving player must not sever a shared reporter.
+		}
+	}
+}
+
+// Close stops accepting and shuts down gracefully: connection handlers get
+// up to ten seconds to drain buffered heartbeats (clients that have closed
+// their side produce EOF naturally); stragglers are then force-closed.
+// Finally the assembler force-flushes so no pending session is lost.
+func (c *Collector) Close() error { return c.CloseGrace(10 * time.Second) }
+
+// CloseGrace is Close with an explicit drain deadline.
+func (c *Collector) CloseGrace(grace time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("heartbeat: collector already closed")
+	}
+	c.closed = true
+	ln := c.ln
+	c.mu.Unlock()
+
+	if ln != nil {
+		// Connections may sit in the kernel accept queue (their dials
+		// already succeeded); give the accept loop a moment to drain them
+		// before tearing the listener down, so their heartbeats are not
+		// silently discarded.
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(150 * time.Millisecond))
+		} else {
+			ln.Close()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		c.mu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
+		<-done
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	c.asm.Flush(true)
+	return nil
+}
+
+// Emitter is the client-side measurement module: it reports one session's
+// lifecycle over a stream. A zero ProgressInterval sends a single progress
+// report before End.
+type Emitter struct {
+	W *Writer
+	// ProgressEvery splits playback into this many progress reports
+	// (default 1).
+	ProgressEvery int
+	// Pace inserts a real-time delay between heartbeats (demos; zero for
+	// tests and bulk replay).
+	Pace time.Duration
+}
+
+// EmitSession reports a completed session as its heartbeat sequence.
+func (e *Emitter) EmitSession(s *session.Session) error {
+	hello := Message{Kind: KindHello, SessionID: s.ID, Epoch: s.Epoch, Attrs: s.Attrs}
+	if err := e.send(&hello); err != nil {
+		return err
+	}
+	if s.QoE.JoinFailed {
+		return e.send(&Message{Kind: KindFailed, SessionID: s.ID})
+	}
+	if err := e.send(&Message{Kind: KindJoined, SessionID: s.ID, JoinTimeMS: s.QoE.JoinTimeMS}); err != nil {
+		return err
+	}
+	steps := e.ProgressEvery
+	if steps < 1 {
+		steps = 1
+	}
+	q := s.QoE
+	total := q.DurationS
+	buffering := totalBuffering(q)
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		msg := Message{
+			Kind:            KindProgress,
+			SessionID:       s.ID,
+			PlayedS:         total * frac,
+			BufferingS:      buffering * frac,
+			WeightedKbpsSec: q.BitrateKbps * total * frac,
+		}
+		if err := e.send(&msg); err != nil {
+			return err
+		}
+	}
+	return e.send(&Message{Kind: KindEnd, SessionID: s.ID, DurationS: total})
+}
+
+func totalBuffering(q metric.QoE) float64 {
+	// QoE stores buffering as a ratio of total session time; invert it.
+	if q.BufRatio <= 0 || q.BufRatio >= 1 {
+		return 0
+	}
+	return q.BufRatio * q.DurationS / (1 - q.BufRatio)
+}
+
+func (e *Emitter) send(m *Message) error {
+	if e.Pace > 0 {
+		time.Sleep(e.Pace)
+	}
+	return e.W.Write(m)
+}

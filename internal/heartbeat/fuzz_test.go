@@ -1,0 +1,49 @@
+package heartbeat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures arbitrary payloads never panic the heartbeat decoder
+// and that accepted messages re-encode/decode stably.
+func FuzzDecode(f *testing.F) {
+	for _, m := range []Message{
+		{Kind: KindHello, SessionID: 1, Epoch: 3},
+		{Kind: KindJoined, SessionID: 1, JoinTimeMS: 500},
+		{Kind: KindProgress, SessionID: 1, PlayedS: 10, BufferingS: 1, WeightedKbpsSec: 100},
+		{Kind: KindEnd, SessionID: 1, DurationS: 60},
+		{Kind: KindFailed, SessionID: 1},
+	} {
+		frame, err := Append(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:]) // payload without the length prefix
+	}
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var m Message
+		if err := Decode(payload, &m); err != nil {
+			return
+		}
+		// Byte-level comparison: NaN payloads round-trip exactly but defeat
+		// struct equality.
+		frame, err := Append(nil, &m)
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		var back Message
+		if err := Decode(frame[4:], &back); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		frame2, err := Append(nil, &back)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatal("heartbeat round trip not byte-stable")
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package heartbeat
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTP transport: production measurement modules of the paper's era
+// reported over HTTP(S) beacons rather than raw TCP (browser sandboxes
+// allow nothing else). This file adapts the same binary frame stream to an
+// HTTP POST body, so a fleet can batch many heartbeats per request while
+// the assembler stays transport-agnostic.
+
+// ContentType identifies a heartbeat batch body.
+const ContentType = "application/x-vq-heartbeats"
+
+// HTTPHandler serves POSTed heartbeat batches into an assembler.
+type HTTPHandler struct {
+	Asm *Assembler
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Logf receives per-request protocol errors (nil silences).
+	Logf func(format string, args ...any)
+}
+
+// ServeHTTP implements http.Handler: the body is a sequence of
+// length-prefixed frames, exactly the TCP stream format.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST heartbeats", http.StatusMethodNotAllowed)
+		return
+	}
+	if ct := req.Header.Get("Content-Type"); ct != ContentType {
+		http.Error(w, fmt.Sprintf("want Content-Type %s", ContentType), http.StatusUnsupportedMediaType)
+		return
+	}
+	limit := h.MaxBodyBytes
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	r := NewReader(http.MaxBytesReader(w, req.Body, limit))
+	accepted, rejected := 0, 0
+	var m Message
+	for {
+		err := r.Read(&m)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if h.Logf != nil {
+				h.Logf("heartbeat: http body: %v", err)
+			}
+			http.Error(w, "malformed heartbeat frame", http.StatusBadRequest)
+			return
+		}
+		if err := h.Asm.Handle(&m); err != nil {
+			rejected++
+			if h.Logf != nil {
+				h.Logf("heartbeat: %v", err)
+			}
+			continue
+		}
+		accepted++
+	}
+	w.Header().Set("X-Heartbeats-Accepted", fmt.Sprint(accepted))
+	w.Header().Set("X-Heartbeats-Rejected", fmt.Sprint(rejected))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// HTTPEmitter batches heartbeats and POSTs them to a collector endpoint.
+type HTTPEmitter struct {
+	// URL is the collector endpoint.
+	URL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// BatchFrames flushes automatically after this many frames (default
+	// 64).
+	BatchFrames int
+
+	buf    []byte
+	frames int
+}
+
+// Write buffers one heartbeat, flushing when the batch fills.
+func (e *HTTPEmitter) Write(m *Message) error {
+	var err error
+	e.buf, err = Append(e.buf, m)
+	if err != nil {
+		return err
+	}
+	e.frames++
+	batch := e.BatchFrames
+	if batch <= 0 {
+		batch = 64
+	}
+	if e.frames >= batch {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush POSTs the pending batch.
+func (e *HTTPEmitter) Flush() error {
+	if e.frames == 0 {
+		return nil
+	}
+	client := e.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequest(http.MethodPost, e.URL, bytes.NewReader(e.buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("heartbeat: collector returned %s", resp.Status)
+	}
+	e.buf = e.buf[:0]
+	e.frames = 0
+	return nil
+}

@@ -1,0 +1,118 @@
+package heartbeat
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/session"
+)
+
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []session.Session
+	asm := NewAssembler(func(s session.Session) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	srv := httptest.NewServer(&HTTPHandler{Asm: asm, Logf: t.Logf})
+	defer srv.Close()
+
+	em := &HTTPEmitter{URL: srv.URL, BatchFrames: 4}
+	want := sampleSession(5)
+	// Route the session's heartbeat sequence through the HTTP batcher.
+	seq := &Emitter{W: NewWriter(writerFunc(func(p []byte) (int, error) {
+		var m Message
+		if err := Decode(p[4:], &m); err != nil {
+			return 0, err
+		}
+		return len(p), em.Write(&m)
+	})), ProgressEvery: 2}
+	if err := seq.EmitSession(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("assembled %d sessions, want 1", len(got))
+	}
+	if got[0].ID != want.ID || got[0].QoE.JoinFailed {
+		t.Errorf("assembled session = %+v", got[0])
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestHTTPHandlerRejections(t *testing.T) {
+	asm := NewAssembler(func(session.Session) {})
+	srv := httptest.NewServer(&HTTPHandler{Asm: asm})
+	defer srv.Close()
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	// Wrong content type.
+	resp, err = http.Post(srv.URL, "text/plain", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("bad content type status = %d", resp.StatusCode)
+	}
+	// Malformed frame.
+	resp, err = http.Post(srv.URL, ContentType, bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed frame status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPEmitterBatching(t *testing.T) {
+	posts := 0
+	asm := NewAssembler(func(session.Session) {})
+	h := &HTTPHandler{Asm: asm}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts++
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	em := &HTTPEmitter{URL: srv.URL, BatchFrames: 3}
+	for i := 0; i < 7; i++ {
+		m := Message{Kind: KindHello, SessionID: uint64(100 + i)}
+		if err := em.Write(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if posts != 2 { // two full batches of 3; one frame pending
+		t.Errorf("posts = %d, want 2 before flush", posts)
+	}
+	if err := em.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 {
+		t.Errorf("posts = %d, want 3 after flush", posts)
+	}
+	if err := em.Flush(); err != nil {
+		t.Error("empty flush should be a no-op, got", err)
+	}
+	if asm.Pending() != 7 {
+		t.Errorf("pending sessions = %d, want 7 Hellos", asm.Pending())
+	}
+}

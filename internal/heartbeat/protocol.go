@@ -1,0 +1,224 @@
+// Package heartbeat reproduces the paper's measurement substrate: the
+// client-side module embedded in video players that reports player status
+// over the network, and the collector that assembles those heartbeats into
+// the per-session records the analysis consumes. Join failures exist in the
+// dataset precisely because this channel reports player status even when no
+// video ever renders (paper §2, footnote 1).
+//
+// The wire protocol is length-prefixed binary over any stream transport
+// (TCP in production, net.Pipe in tests):
+//
+//	frame  := u32 payload-length, payload
+//	payload:= u8 type, u64 session-id, fields…
+//
+//	Hello    (1): i32 epoch, 7×i32 attributes
+//	Joined   (2): f64 join-time-ms
+//	Progress (3): f64 played-s, f64 buffering-s, f64 Σ(bitrate×played)-kbps·s
+//	End      (4): f64 duration-s
+//	Failed   (5): —
+//
+// A session is Hello → (Joined → Progress* → End | Failed). Sessions whose
+// connection drops after Hello without a player status are assembled as
+// join failures — the paper's semantics for players that never reported
+// playback.
+package heartbeat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/epoch"
+)
+
+// Kind identifies a heartbeat message type.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindJoined
+	KindProgress
+	KindEnd
+	KindFailed
+)
+
+var kindNames = map[Kind]string{
+	KindHello: "Hello", KindJoined: "Joined", KindProgress: "Progress",
+	KindEnd: "End", KindFailed: "Failed",
+}
+
+// String returns the message kind name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is one heartbeat.
+type Message struct {
+	Kind      Kind
+	SessionID uint64
+
+	// Hello fields.
+	Epoch epoch.Index
+	Attrs attr.Vector
+
+	// Joined field.
+	JoinTimeMS float64
+
+	// Progress fields (cumulative since join).
+	PlayedS         float64
+	BufferingS      float64
+	WeightedKbpsSec float64
+
+	// End field.
+	DurationS float64
+}
+
+// MaxFrameSize bounds a legal frame, defending the collector against
+// corrupt or hostile length prefixes.
+const MaxFrameSize = 256
+
+// Append encodes the message as one frame appended to dst.
+func Append(dst []byte, m *Message) ([]byte, error) {
+	var payload [MaxFrameSize]byte
+	payload[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint64(payload[1:], m.SessionID)
+	n := 9
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(payload[n:], math.Float64bits(v))
+		n += 8
+	}
+	switch m.Kind {
+	case KindHello:
+		binary.LittleEndian.PutUint32(payload[n:], uint32(m.Epoch))
+		n += 4
+		for i := 0; i < attr.NumDims; i++ {
+			binary.LittleEndian.PutUint32(payload[n:], uint32(m.Attrs[i]))
+			n += 4
+		}
+	case KindJoined:
+		put(m.JoinTimeMS)
+	case KindProgress:
+		put(m.PlayedS)
+		put(m.BufferingS)
+		put(m.WeightedKbpsSec)
+	case KindEnd:
+		put(m.DurationS)
+	case KindFailed:
+	default:
+		return nil, fmt.Errorf("heartbeat: unknown kind %v", m.Kind)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
+	dst = append(dst, lenBuf[:]...)
+	return append(dst, payload[:n]...), nil
+}
+
+// Decode parses one payload (without the length prefix).
+func Decode(payload []byte, m *Message) error {
+	if len(payload) < 9 {
+		return fmt.Errorf("heartbeat: payload too short (%d bytes)", len(payload))
+	}
+	*m = Message{
+		Kind:      Kind(payload[0]),
+		SessionID: binary.LittleEndian.Uint64(payload[1:]),
+	}
+	rest := payload[9:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("heartbeat: %v payload truncated (%d bytes)", m.Kind, len(payload))
+		}
+		return nil
+	}
+	f64 := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		return v
+	}
+	switch m.Kind {
+	case KindHello:
+		if err := need(4 + 4*attr.NumDims); err != nil {
+			return err
+		}
+		m.Epoch = epoch.Index(int32(binary.LittleEndian.Uint32(rest)))
+		rest = rest[4:]
+		for i := 0; i < attr.NumDims; i++ {
+			m.Attrs[i] = int32(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+		}
+	case KindJoined:
+		if err := need(8); err != nil {
+			return err
+		}
+		m.JoinTimeMS = f64()
+	case KindProgress:
+		if err := need(24); err != nil {
+			return err
+		}
+		m.PlayedS = f64()
+		m.BufferingS = f64()
+		m.WeightedKbpsSec = f64()
+	case KindEnd:
+		if err := need(8); err != nil {
+			return err
+		}
+		m.DurationS = f64()
+	case KindFailed:
+	default:
+		return fmt.Errorf("heartbeat: unknown kind %d", payload[0])
+	}
+	return nil
+}
+
+// Writer frames messages onto a stream.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps a stream.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write sends one message.
+func (hw *Writer) Write(m *Message) error {
+	var err error
+	hw.buf, err = Append(hw.buf[:0], m)
+	if err != nil {
+		return err
+	}
+	_, err = hw.w.Write(hw.buf)
+	return err
+}
+
+// Reader de-frames messages from a stream.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps a stream.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r, buf: make([]byte, MaxFrameSize)} }
+
+// Read receives the next message. io.EOF marks a clean end of stream.
+func (hr *Reader) Read(m *Message) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(hr.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("heartbeat: reading frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxFrameSize {
+		return fmt.Errorf("heartbeat: implausible frame length %d", n)
+	}
+	if _, err := io.ReadFull(hr.r, hr.buf[:n]); err != nil {
+		return fmt.Errorf("heartbeat: reading frame body: %w", err)
+	}
+	return Decode(hr.buf[:n], m)
+}

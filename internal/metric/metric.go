@@ -1,0 +1,210 @@
+// Package metric defines the four video quality metrics the paper studies —
+// buffering ratio, average bitrate, join time, and join failures — the
+// per-session QoE record, and the thresholds that classify a session as a
+// problem session for each metric (paper §2, "Identifying problem
+// sessions").
+package metric
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric identifies one of the four quality metrics.
+type Metric uint8
+
+// The four quality metrics, in the paper's order.
+const (
+	BufRatio    Metric = iota // fraction of session time spent buffering
+	Bitrate                   // time-weighted average playback bitrate (kbps)
+	JoinTime                  // startup delay (milliseconds)
+	JoinFailure               // binary: the video never started
+
+	// NumMetrics is the number of quality metrics.
+	NumMetrics = 4
+)
+
+var metricNames = [NumMetrics]string{"BufRatio", "Bitrate", "JoinTime", "JoinFailure"}
+
+// String returns the canonical metric name.
+func (m Metric) String() string {
+	if int(m) < len(metricNames) {
+		return metricNames[m]
+	}
+	return fmt.Sprintf("Metric(%d)", uint8(m))
+}
+
+// Parse converts a metric name (case-insensitive) into a Metric.
+func Parse(s string) (Metric, error) {
+	for i, n := range metricNames {
+		if strings.EqualFold(s, n) {
+			return Metric(i), nil
+		}
+	}
+	return 0, fmt.Errorf("metric: unknown metric %q", s)
+}
+
+// All returns the four metrics in order.
+func All() [NumMetrics]Metric {
+	return [NumMetrics]Metric{BufRatio, Bitrate, JoinTime, JoinFailure}
+}
+
+// Thresholds holds the problem-session thresholds from paper §2 and the
+// problem-cluster significance parameters from §3.1.
+type Thresholds struct {
+	// BufRatio marks a problem when the buffering ratio exceeds this
+	// fraction. Paper: 0.05 ("beyond this value there is a sharp decrease
+	// in amount of video viewed").
+	BufRatio float64
+	// BitrateKbps marks a problem when the average bitrate is below this
+	// value. Paper: 700 kbps (≈ the recommended "360p" setting).
+	BitrateKbps float64
+	// JoinTimeMS marks a problem when the join time exceeds this value.
+	// Paper: 10 000 ms (a conservative upper bound on user tolerance).
+	JoinTimeMS float64
+
+	// ProblemRatioFactor is the multiple of the global problem ratio a
+	// cluster must exceed to be a problem cluster. Paper: 1.5 (≈ two
+	// standard deviations of the per-cluster problem-ratio distribution).
+	ProblemRatioFactor float64
+	// MinClusterSessions is the minimum cluster size for statistical
+	// significance. Paper: 1000 sessions out of ~900K per hour; callers
+	// scale it with trace volume.
+	MinClusterSessions int
+	// MinZScore additionally requires a cluster's problem count to exceed
+	// the global expectation by this many binomial standard deviations.
+	// The paper's fixed 1000-session floor made its 1.5× rule ≈5σ at
+	// 900K sessions/hour; at laptop scale the scaled floor alone admits
+	// noise, so this knob restores the paper's effective significance
+	// (its footnote motivates the 1.5× factor as "roughly two standard
+	// deviations"). Zero disables the test (the paper's literal rule).
+	MinZScore float64
+}
+
+// Default returns the paper's thresholds with a MinClusterSessions already
+// scaled for laptop-size traces (callers typically override it via
+// ScaleMinSessions).
+func Default() Thresholds {
+	return Thresholds{
+		BufRatio:           0.05,
+		BitrateKbps:        700,
+		JoinTimeMS:         10_000,
+		ProblemRatioFactor: 1.5,
+		MinClusterSessions: 50,
+		MinZScore:          3.3,
+	}
+}
+
+// ScaleMinSessions returns a copy of t with MinClusterSessions set to the
+// same fraction of an epoch that the paper's 1000-session floor represents
+// (1000 of ≈900K sessions/hour ≈ 0.11%), with a floor of 20 sessions so
+// tiny traces still require a statistically meaningful count.
+func (t Thresholds) ScaleMinSessions(sessionsPerEpoch int) Thresholds {
+	const paperFraction = 1000.0 / 900_000.0
+	n := int(paperFraction * float64(sessionsPerEpoch))
+	if n < 20 {
+		n = 20
+	}
+	t.MinClusterSessions = n
+	return t
+}
+
+// Validate reports the first invalid field, if any.
+func (t Thresholds) Validate() error {
+	switch {
+	case t.BufRatio <= 0 || t.BufRatio >= 1:
+		return fmt.Errorf("metric: BufRatio threshold %v out of (0,1)", t.BufRatio)
+	case t.BitrateKbps <= 0:
+		return fmt.Errorf("metric: BitrateKbps threshold %v must be positive", t.BitrateKbps)
+	case t.JoinTimeMS <= 0:
+		return fmt.Errorf("metric: JoinTimeMS threshold %v must be positive", t.JoinTimeMS)
+	case t.ProblemRatioFactor <= 1:
+		return fmt.Errorf("metric: ProblemRatioFactor %v must exceed 1", t.ProblemRatioFactor)
+	case t.MinClusterSessions < 1:
+		return fmt.Errorf("metric: MinClusterSessions %d must be at least 1", t.MinClusterSessions)
+	case t.MinZScore < 0:
+		return fmt.Errorf("metric: MinZScore %v must be non-negative", t.MinZScore)
+	}
+	return nil
+}
+
+// QoE is the quality outcome of one video session, as assembled from
+// client-side heartbeats.
+type QoE struct {
+	// JoinFailed is set when no content played at all; the remaining
+	// fields are then undefined (the paper's measurement module reports
+	// failures via a player-status heartbeat).
+	JoinFailed bool
+	// JoinTimeMS is the startup delay in milliseconds.
+	JoinTimeMS float64
+	// BufRatio is buffering time / session duration, in [0, 1].
+	BufRatio float64
+	// BitrateKbps is the time-weighted average playback bitrate.
+	BitrateKbps float64
+	// DurationS is the viewing duration in seconds.
+	DurationS float64
+}
+
+// Defined reports whether metric m is measurable for this session. Join
+// failure is always defined; the continuous metrics are undefined for
+// sessions that never started (paper §2 treats the metrics independently,
+// and a failed join produces no playback to measure).
+func (q QoE) Defined(m Metric) bool {
+	if m == JoinFailure {
+		return true
+	}
+	return !q.JoinFailed
+}
+
+// Problem reports whether the session is a problem session on metric m
+// under thresholds t. Undefined metrics are never problems.
+func (q QoE) Problem(m Metric, t Thresholds) bool {
+	switch m {
+	case JoinFailure:
+		return q.JoinFailed
+	case BufRatio:
+		return !q.JoinFailed && q.BufRatio > t.BufRatio
+	case Bitrate:
+		return !q.JoinFailed && q.BitrateKbps < t.BitrateKbps
+	case JoinTime:
+		return !q.JoinFailed && q.JoinTimeMS > t.JoinTimeMS
+	}
+	return false
+}
+
+// Value returns the raw value of metric m for CDF-style reporting
+// (JoinFailure yields 1 for failed, 0 otherwise).
+func (q QoE) Value(m Metric) float64 {
+	switch m {
+	case BufRatio:
+		return q.BufRatio
+	case Bitrate:
+		return q.BitrateKbps
+	case JoinTime:
+		return q.JoinTimeMS
+	case JoinFailure:
+		if q.JoinFailed {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Validate reports the first physically impossible field, if any.
+func (q QoE) Validate() error {
+	if q.JoinFailed {
+		return nil
+	}
+	switch {
+	case q.BufRatio < 0 || q.BufRatio > 1:
+		return fmt.Errorf("metric: buffering ratio %v out of [0,1]", q.BufRatio)
+	case q.BitrateKbps < 0:
+		return fmt.Errorf("metric: negative bitrate %v", q.BitrateKbps)
+	case q.JoinTimeMS < 0:
+		return fmt.Errorf("metric: negative join time %v", q.JoinTimeMS)
+	case q.DurationS < 0:
+		return fmt.Errorf("metric: negative duration %v", q.DurationS)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package metric
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := Parse("latency"); err == nil {
+		t.Error("Parse(latency) succeeded, want error")
+	}
+	if got, err := Parse("bufratio"); err != nil || got != BufRatio {
+		t.Errorf("Parse is not case-insensitive: %v, %v", got, err)
+	}
+}
+
+func TestDefaultThresholdsMatchPaper(t *testing.T) {
+	th := Default()
+	if th.BufRatio != 0.05 {
+		t.Errorf("BufRatio threshold = %v, want 0.05 (paper §2)", th.BufRatio)
+	}
+	if th.BitrateKbps != 700 {
+		t.Errorf("Bitrate threshold = %v, want 700 kbps (paper §2)", th.BitrateKbps)
+	}
+	if th.JoinTimeMS != 10_000 {
+		t.Errorf("JoinTime threshold = %v, want 10s (paper §2)", th.JoinTimeMS)
+	}
+	if th.ProblemRatioFactor != 1.5 {
+		t.Errorf("ProblemRatioFactor = %v, want 1.5 (paper §3.1)", th.ProblemRatioFactor)
+	}
+	if err := th.Validate(); err != nil {
+		t.Errorf("Default().Validate() = %v", err)
+	}
+}
+
+func TestScaleMinSessions(t *testing.T) {
+	th := Default().ScaleMinSessions(900_000)
+	if th.MinClusterSessions != 1000 {
+		t.Errorf("at paper scale MinClusterSessions = %d, want 1000", th.MinClusterSessions)
+	}
+	th = Default().ScaleMinSessions(1000)
+	if th.MinClusterSessions != 20 {
+		t.Errorf("tiny-trace floor = %d, want 20", th.MinClusterSessions)
+	}
+	th = Default().ScaleMinSessions(90_000)
+	if th.MinClusterSessions != 100 {
+		t.Errorf("scaled MinClusterSessions = %d, want 100", th.MinClusterSessions)
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	bad := []Thresholds{
+		{BufRatio: 0, BitrateKbps: 700, JoinTimeMS: 1e4, ProblemRatioFactor: 1.5, MinClusterSessions: 10},
+		{BufRatio: 0.05, BitrateKbps: 0, JoinTimeMS: 1e4, ProblemRatioFactor: 1.5, MinClusterSessions: 10},
+		{BufRatio: 0.05, BitrateKbps: 700, JoinTimeMS: 0, ProblemRatioFactor: 1.5, MinClusterSessions: 10},
+		{BufRatio: 0.05, BitrateKbps: 700, JoinTimeMS: 1e4, ProblemRatioFactor: 1, MinClusterSessions: 10},
+		{BufRatio: 0.05, BitrateKbps: 700, JoinTimeMS: 1e4, ProblemRatioFactor: 1.5, MinClusterSessions: 0},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestProblemClassification(t *testing.T) {
+	th := Default()
+	cases := []struct {
+		name string
+		q    QoE
+		want [NumMetrics]bool // BufRatio, Bitrate, JoinTime, JoinFailure
+	}{
+		{
+			name: "healthy HD session",
+			q:    QoE{BufRatio: 0.01, BitrateKbps: 3000, JoinTimeMS: 1500, DurationS: 600},
+			want: [NumMetrics]bool{false, false, false, false},
+		},
+		{
+			name: "heavy buffering only",
+			q:    QoE{BufRatio: 0.12, BitrateKbps: 3000, JoinTimeMS: 1500, DurationS: 600},
+			want: [NumMetrics]bool{true, false, false, false},
+		},
+		{
+			name: "low bitrate only",
+			q:    QoE{BufRatio: 0.01, BitrateKbps: 400, JoinTimeMS: 1500, DurationS: 600},
+			want: [NumMetrics]bool{false, true, false, false},
+		},
+		{
+			name: "slow join only",
+			q:    QoE{BufRatio: 0.01, BitrateKbps: 3000, JoinTimeMS: 15_000, DurationS: 600},
+			want: [NumMetrics]bool{false, false, true, false},
+		},
+		{
+			name: "join failure dominates",
+			q:    QoE{JoinFailed: true},
+			want: [NumMetrics]bool{false, false, false, true},
+		},
+		{
+			name: "exactly at thresholds is not a problem",
+			q:    QoE{BufRatio: 0.05, BitrateKbps: 700, JoinTimeMS: 10_000, DurationS: 600},
+			want: [NumMetrics]bool{false, false, false, false},
+		},
+		{
+			name: "multi-metric problems are independent",
+			q:    QoE{BufRatio: 0.2, BitrateKbps: 200, JoinTimeMS: 20_000, DurationS: 600},
+			want: [NumMetrics]bool{true, true, true, false},
+		},
+	}
+	for _, c := range cases {
+		for _, m := range All() {
+			if got := c.q.Problem(m, th); got != c.want[m] {
+				t.Errorf("%s: Problem(%v) = %v, want %v", c.name, m, got, c.want[m])
+			}
+		}
+	}
+}
+
+func TestDefined(t *testing.T) {
+	ok := QoE{BitrateKbps: 1000}
+	failed := QoE{JoinFailed: true}
+	for _, m := range All() {
+		if !ok.Defined(m) {
+			t.Errorf("played session should define %v", m)
+		}
+	}
+	if failed.Defined(BufRatio) || failed.Defined(Bitrate) || failed.Defined(JoinTime) {
+		t.Error("failed session should not define continuous metrics")
+	}
+	if !failed.Defined(JoinFailure) {
+		t.Error("JoinFailure must always be defined")
+	}
+}
+
+func TestQoEValue(t *testing.T) {
+	q := QoE{BufRatio: 0.07, BitrateKbps: 1234, JoinTimeMS: 2500}
+	if q.Value(BufRatio) != 0.07 || q.Value(Bitrate) != 1234 || q.Value(JoinTime) != 2500 {
+		t.Errorf("Value mismatch: %+v", q)
+	}
+	if q.Value(JoinFailure) != 0 {
+		t.Errorf("Value(JoinFailure) = %v for played session, want 0", q.Value(JoinFailure))
+	}
+	if (QoE{JoinFailed: true}).Value(JoinFailure) != 1 {
+		t.Error("Value(JoinFailure) = 0 for failed session, want 1")
+	}
+}
+
+func TestQoEValidate(t *testing.T) {
+	good := QoE{BufRatio: 0.5, BitrateKbps: 100, JoinTimeMS: 10, DurationS: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	bad := []QoE{
+		{BufRatio: -0.1},
+		{BufRatio: 1.5},
+		{BitrateKbps: -1},
+		{JoinTimeMS: -1},
+		{DurationS: -1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, q)
+		}
+	}
+	// A failed join skips the physical checks: the fields are undefined.
+	if err := (QoE{JoinFailed: true, BufRatio: -1}).Validate(); err != nil {
+		t.Errorf("failed-join Validate = %v, want nil", err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package online turns the paper's offline reactive analysis (§5.3) into an
+// operational streaming detector: sessions arrive in epoch order (from a
+// heartbeat collector or a trace), each completed epoch is clustered and
+// searched for critical clusters, and the detector emits alerts as problem
+// events begin, persist past the one-hour reaction threshold, and resolve.
+//
+// The paper's observation that >50% of problem events last two hours or
+// more is exactly what makes this useful: a `Continuing` alert (streak ≥ 2)
+// arrives while most of the event is still ahead.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+// AlertKind classifies an alert.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	// AlertNew fires the first epoch a key is critical (detection).
+	AlertNew AlertKind = iota
+	// AlertContinuing fires on every subsequent consecutive epoch — the
+	// paper's reactive strategy acts on these (streak ≥ 2).
+	AlertContinuing
+	// AlertResolved fires when a previously critical key is no longer
+	// critical.
+	AlertResolved
+)
+
+var alertKindNames = []string{"NEW", "CONTINUING", "RESOLVED"}
+
+// String returns the alert kind label.
+func (k AlertKind) String() string {
+	if int(k) < len(alertKindNames) {
+		return alertKindNames[k]
+	}
+	return fmt.Sprintf("AlertKind(%d)", uint8(k))
+}
+
+// Alert is one detector emission.
+type Alert struct {
+	Epoch  epoch.Index
+	Metric metric.Metric
+	Key    attr.Key
+	Kind   AlertKind
+	// StreakHours counts consecutive critical epochs including this one
+	// (for Resolved: the length of the streak that just ended).
+	StreakHours int
+	// Ratio, Sessions, and AttributedProblems snapshot the cluster at this
+	// epoch (zero for Resolved).
+	Ratio              float64
+	Sessions           int32
+	AttributedProblems float64
+}
+
+// Actionable reports whether the paper's reactive strategy would act on
+// this alert (the event has persisted past its first hour).
+func (a Alert) Actionable() bool {
+	return a.Kind == AlertContinuing && a.StreakHours >= 2
+}
+
+// Detector consumes an epoch-ordered session stream.
+type Detector struct {
+	cfg  core.Config
+	emit func(Alert)
+
+	cur     epoch.Index
+	started bool
+	buf     []cluster.Lite
+
+	streaks [metric.NumMetrics]map[attr.Key]int
+
+	// Epochs counts completed epochs; Alerts counts emissions.
+	Epochs int
+	Alerts int
+}
+
+// NewDetector builds a detector delivering alerts to emit in a
+// deterministic order per epoch (metric, then key).
+func NewDetector(cfg core.Config, emit func(Alert)) (*Detector, error) {
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	d := &Detector{cfg: cfg, emit: emit}
+	for m := range d.streaks {
+		d.streaks[m] = make(map[attr.Key]int)
+	}
+	return d, nil
+}
+
+// Add consumes one session. Sessions must arrive in non-decreasing epoch
+// order; a new epoch closes and evaluates the previous one.
+func (d *Detector) Add(s *session.Session) error {
+	if d.started && s.Epoch < d.cur {
+		return fmt.Errorf("online: session for epoch %d after epoch %d", s.Epoch, d.cur)
+	}
+	if !d.started {
+		d.started = true
+		d.cur = s.Epoch
+	}
+	if s.Epoch > d.cur {
+		if err := d.closeEpoch(); err != nil {
+			return err
+		}
+		d.cur = s.Epoch
+	}
+	d.buf = append(d.buf, cluster.Digest(s, d.cfg.Thresholds))
+	return nil
+}
+
+// Flush evaluates the in-progress epoch (end of stream).
+func (d *Detector) Flush() error {
+	if !d.started || len(d.buf) == 0 {
+		return nil
+	}
+	return d.closeEpoch()
+}
+
+func (d *Detector) closeEpoch() error {
+	res, err := core.AnalyzeEpoch(d.cur, d.buf, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.buf = d.buf[:0]
+	d.Epochs++
+
+	for _, m := range metric.All() {
+		ms := &res.Metrics[m]
+		now := make(map[attr.Key]*core.CriticalSummary, len(ms.Critical))
+		for i := range ms.Critical {
+			now[ms.Critical[i].Key] = &ms.Critical[i]
+		}
+
+		// Deterministic emission order.
+		keys := make([]attr.Key, 0, len(now)+len(d.streaks[m]))
+		for k := range now {
+			keys = append(keys, k)
+		}
+		for k := range d.streaks[m] {
+			if _, ok := now[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+		for _, k := range keys {
+			cs, active := now[k]
+			prev := d.streaks[m][k]
+			switch {
+			case active && prev == 0:
+				d.streaks[m][k] = 1
+				d.send(Alert{
+					Epoch: d.cur, Metric: m, Key: k, Kind: AlertNew, StreakHours: 1,
+					Ratio: cs.Ratio, Sessions: cs.Sessions, AttributedProblems: cs.AttributedProblems,
+				})
+			case active:
+				d.streaks[m][k] = prev + 1
+				d.send(Alert{
+					Epoch: d.cur, Metric: m, Key: k, Kind: AlertContinuing, StreakHours: prev + 1,
+					Ratio: cs.Ratio, Sessions: cs.Sessions, AttributedProblems: cs.AttributedProblems,
+				})
+			default:
+				delete(d.streaks[m], k)
+				d.send(Alert{
+					Epoch: d.cur, Metric: m, Key: k, Kind: AlertResolved, StreakHours: prev,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Detector) send(a Alert) {
+	d.Alerts++
+	if d.emit != nil {
+		d.emit(a)
+	}
+}
+
+func keyLess(a, b attr.Key) bool {
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	for d := attr.Dim(0); d < attr.NumDims; d++ {
+		if a.Vals[d] != b.Vals[d] {
+			return a.Vals[d] < b.Vals[d]
+		}
+	}
+	return false
+}

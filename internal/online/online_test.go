@@ -1,0 +1,202 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/events"
+	"repro/internal/metric"
+	"repro/internal/session"
+	"repro/internal/synth"
+)
+
+func detectorConfig(perEpoch int) core.Config { return core.DefaultConfig(perEpoch) }
+
+// outageGenerator builds a small trace with one injected buffering outage
+// at a popular ASN over epochs [4, 9).
+func outageGenerator(t *testing.T) (*synth.Generator, attr.Key, epoch.Range) {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 12}
+	cfg.SessionsPerEpoch = 2500
+	cfg.Events.Trace = cfg.Trace
+	// Quiet background so the outage detection is unambiguous.
+	cfg.Events.DisableChronic = true
+	cfg.Events.DisableEpisodic = true
+	anchor := attr.NewKey(map[attr.Dim]int32{attr.ASN: 0})
+	outage := epoch.Range{Start: 4, End: 9}
+	cfg.Events.Extra = []events.Event{{
+		Metric: metric.BufRatio, Anchor: anchor, Severity: 0.6,
+		Intervals: []epoch.Range{outage}, Tag: "test-outage",
+	}}
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, anchor, outage
+}
+
+func TestDetectorAlertsOnOutage(t *testing.T) {
+	g, anchor, outage := outageGenerator(t)
+	var alerts []Alert
+	d, err := NewDetector(detectorConfig(2500), func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ForEach(d.Add); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epochs != 12 {
+		t.Fatalf("epochs processed = %d", d.Epochs)
+	}
+
+	var sawNew, sawActionable, sawResolved bool
+	for _, a := range alerts {
+		if a.Metric != metric.BufRatio || a.Key != anchor {
+			continue
+		}
+		switch a.Kind {
+		case AlertNew:
+			sawNew = true
+			if a.Epoch != outage.Start {
+				t.Errorf("NEW alert at epoch %d, want %d", a.Epoch, outage.Start)
+			}
+			if a.Ratio <= 0 || a.Sessions <= 0 {
+				t.Errorf("NEW alert snapshot empty: %+v", a)
+			}
+		case AlertContinuing:
+			if a.Actionable() {
+				sawActionable = true
+			}
+			if !outage.Contains(a.Epoch) {
+				t.Errorf("CONTINUING alert outside the outage: epoch %d", a.Epoch)
+			}
+		case AlertResolved:
+			sawResolved = true
+			if a.Epoch != outage.End {
+				t.Errorf("RESOLVED at epoch %d, want %d", a.Epoch, outage.End)
+			}
+			if a.StreakHours != outage.Len() {
+				t.Errorf("resolved streak = %d, want %d", a.StreakHours, outage.Len())
+			}
+		}
+	}
+	if !sawNew || !sawActionable || !sawResolved {
+		t.Errorf("alert lifecycle incomplete: new=%v actionable=%v resolved=%v (%d alerts)",
+			sawNew, sawActionable, sawResolved, len(alerts))
+	}
+}
+
+func TestDetectorOrderingError(t *testing.T) {
+	d, err := NewDetector(detectorConfig(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := session.Session{Epoch: 5, EventIDs: session.NoEvents}
+	s0 := session.Session{Epoch: 4, EventIDs: session.NoEvents}
+	if err := d.Add(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(&s0); err == nil {
+		t.Error("out-of-order session accepted")
+	}
+}
+
+func TestDetectorEmptyFlush(t *testing.T) {
+	d, err := NewDetector(detectorConfig(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Error("empty flush should be a no-op")
+	}
+	if d.Epochs != 0 {
+		t.Error("no epochs should have closed")
+	}
+}
+
+func TestDetectorInvalidConfig(t *testing.T) {
+	cfg := detectorConfig(100)
+	cfg.Thresholds.ProblemRatioFactor = 0.1
+	if _, err := NewDetector(cfg, nil); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+}
+
+func TestAlertKindString(t *testing.T) {
+	if AlertNew.String() != "NEW" || AlertResolved.String() != "RESOLVED" {
+		t.Error("alert kind names wrong")
+	}
+	if AlertKind(9).String() == "" {
+		t.Error("unknown kind should not be empty")
+	}
+	a := Alert{Kind: AlertContinuing, StreakHours: 1}
+	if a.Actionable() {
+		t.Error("streak of 1 must not be actionable")
+	}
+}
+
+// TestDetectorMatchesOffline: the streaming detector must reach the same
+// per-epoch critical sets as the offline analyser.
+func TestDetectorMatchesOffline(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 6}
+	cfg.SessionsPerEpoch = 1500
+	cfg.Events.Trace = cfg.Trace
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := detectorConfig(1500)
+
+	offline, err := core.AnalyzeGenerator(g, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type em struct {
+		e epoch.Index
+		m metric.Metric
+	}
+	online := make(map[em]map[attr.Key]bool)
+	d, err := NewDetector(ccfg, func(a Alert) {
+		if a.Kind == AlertResolved {
+			return
+		}
+		k := em{a.Epoch, a.Metric}
+		if online[k] == nil {
+			online[k] = make(map[attr.Key]bool)
+		}
+		online[k][a.Key] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ForEach(d.Add); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range offline.Epochs {
+		er := &offline.Epochs[i]
+		for _, m := range metric.All() {
+			want := er.Metrics[m].CriticalSet()
+			got := online[em{er.Epoch, m}]
+			if len(want) != len(got) {
+				t.Fatalf("epoch %d %v: online %d keys vs offline %d", er.Epoch, m, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("epoch %d %v: offline key %v missing online", er.Epoch, m, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package player
+
+// Festive is a FESTIVE-style ABR (Jiang, Sekar, Zhang — CoNEXT 2012, cited
+// by the paper as [17]): bandwidth is estimated by the harmonic mean of the
+// last W segment throughputs (robust to outliers), the target rendition is
+// the highest one below a safety fraction of that estimate, and switches
+// are gradual — one rung at a time, with an up-switch only after the target
+// has persisted for a few segments. The original's fairness machinery
+// (randomised scheduling, bitrate-delay trade-off) is out of scope; this
+// captures its stability behaviour, which is what matters for session QoE.
+type Festive struct {
+	// Window is the harmonic-mean window in segments (default 5).
+	Window int
+	// Safety is the usable fraction of the estimate (default 0.85).
+	Safety float64
+	// UpPersistence is how many consecutive segments the target must
+	// exceed the current rung before switching up (default 3).
+	UpPersistence int
+
+	samples   []float64
+	upStreak  int
+	haveState bool
+}
+
+// Name implements ABR.
+func (f *Festive) Name() string { return "festive" }
+
+// Next implements ABR.
+func (f *Festive) Next(s State) int {
+	window := f.Window
+	if window <= 0 {
+		window = 5
+	}
+	safety := f.Safety
+	if safety == 0 {
+		safety = 0.85
+	}
+	persistence := f.UpPersistence
+	if persistence <= 0 {
+		persistence = 3
+	}
+
+	if s.LastThroughputKbps > 0 {
+		f.samples = append(f.samples, s.LastThroughputKbps)
+		if len(f.samples) > window {
+			f.samples = f.samples[len(f.samples)-window:]
+		}
+	}
+	if len(f.samples) == 0 {
+		f.haveState = true
+		return 0 // conservative start, like the original
+	}
+
+	// Harmonic mean damps transient spikes.
+	var invSum float64
+	for _, v := range f.samples {
+		invSum += 1 / v
+	}
+	estimate := float64(len(f.samples)) / invSum
+	budget := safety * estimate
+
+	target := 0
+	for i, b := range s.Ladder {
+		if b <= budget {
+			target = i
+		}
+	}
+
+	cur := s.CurrentIndex
+	if !f.haveState {
+		f.haveState = true
+		cur = 0
+	}
+	switch {
+	case target > cur:
+		// Gradual up-switch after persistent headroom.
+		f.upStreak++
+		if f.upStreak >= persistence {
+			f.upStreak = 0
+			return cur + 1
+		}
+		return cur
+	case target < cur:
+		// Down-switches are immediate (avoid stalls) but also gradual.
+		f.upStreak = 0
+		return cur - 1
+	default:
+		f.upStreak = 0
+		return cur
+	}
+}

@@ -1,0 +1,98 @@
+package player
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFestiveClimbsGradually(t *testing.T) {
+	rng := stats.NewRNG(3)
+	res, err := Play(rng, ladder, &Festive{}, ConstNetwork(8000), DefaultConfig(), 600, 0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoE.JoinFailed {
+		t.Fatal("join failed on a fast network")
+	}
+	// Eventually reaches a high rung but via single-rung switches: with a
+	// 4-rung ladder starting at rung 0 that is at least 3 switches.
+	if res.QoE.BitrateKbps < 1500 {
+		t.Errorf("festive stuck low: %v kbps", res.QoE.BitrateKbps)
+	}
+	if res.Switches < 3 {
+		t.Errorf("festive should climb rung by rung, saw %d switches", res.Switches)
+	}
+	if res.QoE.BufRatio > 0.02 {
+		t.Errorf("festive stalled on a fast network: %v", res.QoE.BufRatio)
+	}
+}
+
+// TestFestiveStability reproduces the FESTIVE paper's motivation: under a
+// bursty network, harmonic-mean estimation plus gradual switching changes
+// rendition less often than the plain rate-based rule.
+func TestFestiveStability(t *testing.T) {
+	run := func(abr ABR) Result {
+		net := NewMarkovNetwork(stats.NewRNG(91), 2200, 8)
+		res, err := Play(stats.NewRNG(7), ladder, abr, net, DefaultConfig(), 900, 0, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	festive := run(&Festive{})
+	rate := run(RateBased{})
+	if festive.QoE.JoinFailed || rate.QoE.JoinFailed {
+		t.Skip("join failure under burst; comparison not meaningful")
+	}
+	if festive.Switches >= rate.Switches {
+		t.Errorf("festive switched %d times, rate-based %d — stability lost",
+			festive.Switches, rate.Switches)
+	}
+}
+
+func TestFestiveDownSwitchOnCollapse(t *testing.T) {
+	// Feed states directly: after cruising at the top rung, a throughput
+	// collapse must step down immediately (one rung per segment).
+	f := &Festive{Window: 3, UpPersistence: 1}
+	s := State{Ladder: ladder, CurrentIndex: 3}
+	s.LastThroughputKbps = 5000
+	f.Next(s) // prime the window
+	s.LastThroughputKbps = 250
+	got := f.Next(s)
+	if got > 3 {
+		t.Fatalf("up-switch during collapse: %d", got)
+	}
+	// Keep feeding collapse samples; the choice must march down to 0.
+	idx := got
+	for i := 0; i < 10 && idx > 0; i++ {
+		s.CurrentIndex = idx
+		s.LastThroughputKbps = 250
+		next := f.Next(s)
+		if next > idx {
+			t.Fatalf("switched up (%d → %d) during collapse", idx, next)
+		}
+		if next < idx-1 {
+			t.Fatalf("skipped rungs downward (%d → %d); FESTIVE is gradual", idx, next)
+		}
+		idx = next
+	}
+	if idx != 0 {
+		t.Errorf("never reached the lowest rung: %d", idx)
+	}
+}
+
+func TestFestiveUpPersistence(t *testing.T) {
+	f := &Festive{Window: 3, UpPersistence: 3}
+	s := State{Ladder: ladder, CurrentIndex: 0, LastThroughputKbps: 8000}
+	// Headroom is visible immediately, but the first two observations must
+	// hold the current rung; the third may switch up one rung.
+	for i := 0; i < 2; i++ {
+		if got := f.Next(s); got != 0 {
+			t.Errorf("observation %d switched to %d before persistence satisfied", i+1, got)
+		}
+	}
+	if got := f.Next(s); got != 1 {
+		t.Errorf("after persistence, Next = %d, want 1", got)
+	}
+}

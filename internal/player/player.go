@@ -1,0 +1,344 @@
+// Package player is the behavioural substrate of the reproduction: a
+// discrete-event simulation of an adaptive-bitrate video player — segment
+// downloads over a time-varying network, startup buffering, mid-stream
+// rebuffering, and bitrate switching under pluggable ABR algorithms (the
+// client-adaptation ecosystem the paper's §7 cites: rate-based,
+// buffer-based, and fixed-rate players).
+//
+// The simulator produces exactly the per-session QoE record the analysis
+// consumes, so examples can drive the full pipeline mechanically instead of
+// sampling parametric distributions.
+package player
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/stats"
+)
+
+// Config shapes the player.
+type Config struct {
+	// SegmentS is the media segment duration in seconds.
+	SegmentS float64
+	// StartupBufferS is the playback buffer required before rendering
+	// starts (join completes).
+	StartupBufferS float64
+	// MaxBufferS caps the buffer; the player idles when full.
+	MaxBufferS float64
+	// JoinTimeoutS abandons the session as a join failure when startup
+	// takes longer.
+	JoinTimeoutS float64
+	// StartupOverheadS models manifest fetch and player bootstrap before
+	// the first segment request (the paper's Chinese-clients-loading-US-
+	// player-modules anecdote inflates exactly this term).
+	StartupOverheadS float64
+}
+
+// DefaultConfig returns a typical 2013 HLS-style player.
+func DefaultConfig() Config {
+	return Config{
+		SegmentS:         4,
+		StartupBufferS:   8,
+		MaxBufferS:       30,
+		JoinTimeoutS:     75,
+		StartupOverheadS: 0.6,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.SegmentS <= 0:
+		return fmt.Errorf("player: SegmentS %v must be positive", c.SegmentS)
+	case c.StartupBufferS <= 0:
+		return fmt.Errorf("player: StartupBufferS %v must be positive", c.StartupBufferS)
+	case c.MaxBufferS < c.StartupBufferS:
+		return fmt.Errorf("player: MaxBufferS %v below StartupBufferS %v", c.MaxBufferS, c.StartupBufferS)
+	case c.JoinTimeoutS <= 0:
+		return fmt.Errorf("player: JoinTimeoutS %v must be positive", c.JoinTimeoutS)
+	case c.StartupOverheadS < 0:
+		return fmt.Errorf("player: negative StartupOverheadS")
+	}
+	return nil
+}
+
+// State is what an ABR algorithm sees when choosing the next rendition.
+type State struct {
+	// BufferS is the current playback buffer level.
+	BufferS float64
+	// LastThroughputKbps is the measured throughput of the previous
+	// segment download (0 before the first).
+	LastThroughputKbps float64
+	// CurrentIndex is the rendition currently selected.
+	CurrentIndex int
+	// Ladder is the site's rendition ladder (kbps, ascending).
+	Ladder []float64
+	// Startup reports whether playback has not yet begun.
+	Startup bool
+}
+
+// ABR selects the rendition index for the next segment.
+type ABR interface {
+	Next(s State) int
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// Fixed always plays one rendition — the paper's single-bitrate sites and
+// non-adaptive players.
+type Fixed struct{ Index int }
+
+// Next implements ABR.
+func (f Fixed) Next(s State) int {
+	if f.Index < 0 || f.Index >= len(s.Ladder) {
+		return 0
+	}
+	return f.Index
+}
+
+// Name implements ABR.
+func (f Fixed) Name() string { return "fixed" }
+
+// RateBased picks the highest rendition below a safety fraction of the
+// measured throughput (classic throughput-rule players).
+type RateBased struct {
+	// Safety is the fraction of measured throughput considered
+	// sustainable (default 0.8 when zero).
+	Safety float64
+}
+
+// Next implements ABR.
+func (a RateBased) Next(s State) int {
+	safety := a.Safety
+	if safety == 0 {
+		safety = 0.8
+	}
+	if s.LastThroughputKbps == 0 {
+		return 0 // conservative start
+	}
+	budget := safety * s.LastThroughputKbps
+	best := 0
+	for i, b := range s.Ladder {
+		if b <= budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements ABR.
+func (a RateBased) Name() string { return "rate-based" }
+
+// BufferBased maps buffer occupancy to rendition (BBA-style): low buffer →
+// lowest rendition, full buffer → highest, linear in between.
+type BufferBased struct {
+	// ReservoirS and CushionS delimit the linear region (defaults 5 and
+	// 20 when zero).
+	ReservoirS, CushionS float64
+}
+
+// Next implements ABR.
+func (a BufferBased) Next(s State) int {
+	reservoir := a.ReservoirS
+	if reservoir == 0 {
+		reservoir = 5
+	}
+	cushion := a.CushionS
+	if cushion == 0 {
+		cushion = 20
+	}
+	if s.Startup || s.BufferS <= reservoir {
+		return 0
+	}
+	if s.BufferS >= reservoir+cushion {
+		return len(s.Ladder) - 1
+	}
+	frac := (s.BufferS - reservoir) / cushion
+	idx := int(frac * float64(len(s.Ladder)))
+	if idx >= len(s.Ladder) {
+		idx = len(s.Ladder) - 1
+	}
+	return idx
+}
+
+// Name implements ABR.
+func (a BufferBased) Name() string { return "buffer-based" }
+
+// Network supplies time-varying throughput to the simulator.
+type Network interface {
+	// ThroughputKbps returns the sustainable rate at simulation time t
+	// seconds.
+	ThroughputKbps(t float64) float64
+}
+
+// ConstNetwork is a fixed-rate network.
+type ConstNetwork float64
+
+// ThroughputKbps implements Network.
+func (c ConstNetwork) ThroughputKbps(t float64) float64 { return float64(c) }
+
+// MarkovNetwork modulates a mean rate through a three-state chain (good /
+// degraded / bad), the classic bursty last-mile model.
+type MarkovNetwork struct {
+	MeanKbps float64
+	// HoldS is the mean state holding time.
+	HoldS float64
+
+	rng    *stats.RNG
+	state  int
+	until  float64
+	levels [3]float64
+}
+
+// NewMarkovNetwork builds a chain with the given mean rate.
+func NewMarkovNetwork(rng *stats.RNG, meanKbps, holdS float64) *MarkovNetwork {
+	n := &MarkovNetwork{MeanKbps: meanKbps, HoldS: holdS, rng: rng}
+	n.levels = [3]float64{1.25, 0.7, 0.25}
+	return n
+}
+
+// ThroughputKbps implements Network.
+func (n *MarkovNetwork) ThroughputKbps(t float64) float64 {
+	for t >= n.until {
+		// Transition: mostly good, occasionally degraded, rarely bad.
+		u := n.rng.Float64()
+		switch {
+		case u < 0.70:
+			n.state = 0
+		case u < 0.93:
+			n.state = 1
+		default:
+			n.state = 2
+		}
+		n.until += n.HoldS * (0.5 + n.rng.ExpFloat64())
+	}
+	return n.MeanKbps * n.levels[n.state]
+}
+
+// Result is the simulated session outcome plus playback internals for
+// inspection.
+type Result struct {
+	QoE metric.QoE
+	// Rebuffers counts mid-stream stalls.
+	Rebuffers int
+	// Switches counts rendition changes.
+	Switches int
+}
+
+// Play simulates one session: connecting (which may fail), startup
+// buffering, and segment-by-segment playback of viewing durationS seconds.
+// failProb is the connection-failure probability (from the CDN model);
+// rttS adds per-segment request latency.
+func Play(rng *stats.RNG, ladder []float64, abr ABR, net Network, cfg Config, durationS, failProb, rttS float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(ladder) == 0 {
+		return Result{}, fmt.Errorf("player: empty rendition ladder")
+	}
+	if durationS <= 0 {
+		return Result{}, fmt.Errorf("player: non-positive duration %v", durationS)
+	}
+
+	if rng.Bool(failProb) {
+		return Result{QoE: metric.QoE{JoinFailed: true}}, nil
+	}
+
+	var (
+		now        = cfg.StartupOverheadS + rttS // manifest + bootstrap
+		buffer     = 0.0
+		played     = 0.0
+		buffering  = 0.0
+		joined     = false
+		joinTime   = 0.0
+		weighted   = 0.0 // Σ bitrate × seconds played
+		st         = State{Ladder: ladder, Startup: true}
+		res        Result
+		maxWallS   = durationS*4 + cfg.JoinTimeoutS // runaway guard
+		lastChoice = -1
+	)
+
+	for played < durationS && now < maxWallS {
+		idx := abr.Next(st)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ladder) {
+			idx = len(ladder) - 1
+		}
+		if lastChoice >= 0 && idx != lastChoice {
+			res.Switches++
+		}
+		lastChoice = idx
+		st.CurrentIndex = idx
+
+		// Download one segment of SegmentS seconds at ladder[idx] kbps.
+		bits := ladder[idx] * 1000 * cfg.SegmentS
+		tp := net.ThroughputKbps(now)
+		if tp < 1 {
+			tp = 1
+		}
+		dl := bits/(tp*1000) + rttS
+		st.LastThroughputKbps = bits / 1000 / dl
+
+		if !joined {
+			now += dl
+			buffer += cfg.SegmentS
+			if now > cfg.JoinTimeoutS {
+				return Result{QoE: metric.QoE{JoinFailed: true}}, nil
+			}
+			if buffer >= cfg.StartupBufferS {
+				joined = true
+				joinTime = now
+				st.Startup = false
+			}
+			st.BufferS = buffer
+			continue
+		}
+
+		// Playback drains the buffer while the download runs.
+		drained := dl
+		if drained > buffer {
+			// Stall: the buffer empties mid-download.
+			stall := drained - buffer
+			playedNow := buffer
+			buffer = 0
+			played += playedNow
+			weighted += ladder[idx] * playedNow
+			buffering += stall
+			res.Rebuffers++
+			now += dl
+		} else {
+			buffer -= drained
+			played += drained
+			weighted += ladder[idx] * drained
+			now += dl
+		}
+		buffer += cfg.SegmentS
+		if buffer > cfg.MaxBufferS {
+			// Idle until there is room: playback continues.
+			idle := buffer - cfg.MaxBufferS
+			played += idle
+			weighted += ladder[idx] * idle
+			now += idle
+			buffer = cfg.MaxBufferS
+		}
+		st.BufferS = buffer
+	}
+
+	if !joined {
+		return Result{QoE: metric.QoE{JoinFailed: true}}, nil
+	}
+	if played <= 0 {
+		played = 1e-9
+	}
+	total := played + buffering
+	res.QoE = metric.QoE{
+		JoinTimeMS:  joinTime * 1000,
+		BufRatio:    stats.Clamp(buffering/total, 0, 1),
+		BitrateKbps: weighted / played,
+		DurationS:   played,
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package player
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+var ladder = []float64{300, 700, 1500, 3000}
+
+func play(t *testing.T, abr ABR, net Network, failProb float64) Result {
+	t.Helper()
+	res, err := Play(stats.NewRNG(7), ladder, abr, net, DefaultConfig(), 300, failProb, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHealthyPlayback(t *testing.T) {
+	res := play(t, RateBased{}, ConstNetwork(5000), 0)
+	q := res.QoE
+	if q.JoinFailed {
+		t.Fatal("healthy session failed to join")
+	}
+	if q.JoinTimeMS <= 0 || q.JoinTimeMS > 10_000 {
+		t.Errorf("join time = %v ms", q.JoinTimeMS)
+	}
+	if q.BufRatio > 0.01 {
+		t.Errorf("buffering ratio = %v on a fast network", q.BufRatio)
+	}
+	// 5000 kbps × 0.8 safety sustains the 3000 rung.
+	if q.BitrateKbps < 2500 {
+		t.Errorf("bitrate = %v, want near top rung", q.BitrateKbps)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("invalid QoE: %v", err)
+	}
+}
+
+func TestSlowNetworkBuffers(t *testing.T) {
+	// 400 kbps cannot sustain even the lowest rung without stalls... it
+	// can: 300 < 400. Use 200 kbps for guaranteed rebuffering.
+	res := play(t, RateBased{}, ConstNetwork(200), 0)
+	if res.QoE.JoinFailed {
+		// Startup may exceed the timeout on very slow networks; that is a
+		// legitimate outcome, but with 200 kbps and a 300 kbps rung the
+		// 8 s startup buffer needs 12 s — well within the 75 s timeout.
+		t.Fatal("unexpected join failure")
+	}
+	if res.Rebuffers == 0 || res.QoE.BufRatio < 0.05 {
+		t.Errorf("expected heavy rebuffering: %d stalls, ratio %v", res.Rebuffers, res.QoE.BufRatio)
+	}
+	if res.QoE.BitrateKbps > 310 {
+		t.Errorf("bitrate = %v, want pinned at lowest rung", res.QoE.BitrateKbps)
+	}
+}
+
+func TestJoinFailureOnDeadNetwork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JoinTimeoutS = 10
+	res, err := Play(stats.NewRNG(1), ladder, RateBased{}, ConstNetwork(50), cfg, 300, 0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoE.JoinFailed {
+		t.Error("50 kbps should blow the 10 s join timeout")
+	}
+}
+
+func TestConnectionFailure(t *testing.T) {
+	fails := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		res, err := Play(stats.NewRNG(seed), ladder, RateBased{}, ConstNetwork(5000), DefaultConfig(), 60, 0.5, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.QoE.JoinFailed {
+			fails++
+		}
+	}
+	if fails < 60 || fails > 140 {
+		t.Errorf("failure count = %d/200 with failProb 0.5", fails)
+	}
+}
+
+func TestFixedABR(t *testing.T) {
+	res := play(t, Fixed{Index: 1}, ConstNetwork(5000), 0)
+	if d := res.QoE.BitrateKbps - 700; d > 1e-6 || d < -1e-6 {
+		t.Errorf("fixed player bitrate = %v, want 700", res.QoE.BitrateKbps)
+	}
+	if res.Switches != 0 {
+		t.Errorf("fixed player switched %d times", res.Switches)
+	}
+	// Out-of-range index clamps to the lowest rung.
+	res = play(t, Fixed{Index: 99}, ConstNetwork(5000), 0)
+	if d := res.QoE.BitrateKbps - 300; d > 1e-6 || d < -1e-6 {
+		t.Errorf("clamped fixed bitrate = %v", res.QoE.BitrateKbps)
+	}
+}
+
+func TestBufferBasedClimbs(t *testing.T) {
+	res := play(t, BufferBased{}, ConstNetwork(8000), 0)
+	if res.QoE.BitrateKbps < 1000 {
+		t.Errorf("buffer-based stuck low: %v kbps", res.QoE.BitrateKbps)
+	}
+	if res.Switches == 0 {
+		t.Error("buffer-based player should ramp through renditions")
+	}
+}
+
+func TestRateBasedAdaptsToMarkov(t *testing.T) {
+	rng := stats.NewRNG(21)
+	net := NewMarkovNetwork(rng.Split(1), 2500, 20)
+	res, err := Play(rng.Split(2), ladder, RateBased{}, net, DefaultConfig(), 600, 0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoE.JoinFailed {
+		t.Fatal("join failed")
+	}
+	// Mean 2500 supports the 1500 rung most of the time; bad states pull
+	// the average down but stalls should be limited by adaptation.
+	if res.QoE.BitrateKbps < 500 || res.QoE.BitrateKbps > 2600 {
+		t.Errorf("adaptive bitrate = %v", res.QoE.BitrateKbps)
+	}
+	if res.QoE.BufRatio > 0.4 {
+		t.Errorf("buffering ratio = %v, adaptation should limit stalls", res.QoE.BufRatio)
+	}
+}
+
+func TestABRComparisonUnderCongestion(t *testing.T) {
+	// The motivation for adaptive players: fixed-at-top stalls, adaptive
+	// players trade bitrate for smoothness.
+	rngA, rngB := stats.NewRNG(5), stats.NewRNG(5)
+	netA := NewMarkovNetwork(stats.NewRNG(99), 1800, 15)
+	netB := NewMarkovNetwork(stats.NewRNG(99), 1800, 15)
+	fixed, err := Play(rngA, ladder, Fixed{Index: 3}, netA, DefaultConfig(), 600, 0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Play(rngB, ladder, RateBased{}, netB, DefaultConfig(), 600, 0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.QoE.JoinFailed || adaptive.QoE.JoinFailed {
+		t.Skip("join failed under congestion; comparison not meaningful")
+	}
+	if adaptive.QoE.BufRatio >= fixed.QoE.BufRatio {
+		t.Errorf("adaptive buffering %v should beat fixed-at-top %v",
+			adaptive.QoE.BufRatio, fixed.QoE.BufRatio)
+	}
+}
+
+func TestPlayErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := Play(rng, nil, RateBased{}, ConstNetwork(1000), DefaultConfig(), 60, 0, 0); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := Play(rng, ladder, RateBased{}, ConstNetwork(1000), DefaultConfig(), 0, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad := DefaultConfig()
+	bad.SegmentS = 0
+	if _, err := Play(rng, ladder, RateBased{}, ConstNetwork(1000), bad, 60, 0, 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.SegmentS = 0 },
+		func(c *Config) { c.StartupBufferS = 0 },
+		func(c *Config) { c.MaxBufferS = 1 },
+		func(c *Config) { c.JoinTimeoutS = 0 },
+		func(c *Config) { c.StartupOverheadS = -1 },
+	}
+	for i, mut := range muts {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestABRNames(t *testing.T) {
+	for _, a := range []ABR{Fixed{}, RateBased{}, BufferBased{}} {
+		if a.Name() == "" {
+			t.Error("empty ABR name")
+		}
+	}
+}
+
+func TestMarkovNetworkLevels(t *testing.T) {
+	net := NewMarkovNetwork(stats.NewRNG(3), 1000, 5)
+	seen := map[float64]bool{}
+	for t1 := 0.0; t1 < 2000; t1 += 1 {
+		seen[net.ThroughputKbps(t1)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("Markov network never changed state: %v", seen)
+	}
+	for rate := range seen {
+		if rate <= 0 || rate > 1300 {
+			t.Errorf("rate %v outside expected envelope", rate)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package session
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+// Binary wire format (little endian), one fixed-width record per session:
+//
+//	offset size field
+//	0      8    ID
+//	8      4    Epoch (int32)
+//	12     28   Attrs (7 × int32)
+//	40     1    flags (bit 0: JoinFailed)
+//	41     8    JoinTimeMS (float64)
+//	49     8    BufRatio (float64)
+//	57     8    BitrateKbps (float64)
+//	65     8    DurationS (float64)
+//	73     16   EventIDs (4 × int32)
+//
+// Total 89 bytes. The format is versioned by the trace container (see
+// package trace), not per record.
+const binarySize = 89
+
+// AppendBinary appends the binary encoding of s to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, s *Session) []byte {
+	var buf [binarySize]byte
+	binary.LittleEndian.PutUint64(buf[0:], s.ID)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.Epoch))
+	for i := 0; i < attr.NumDims; i++ {
+		binary.LittleEndian.PutUint32(buf[12+4*i:], uint32(s.Attrs[i]))
+	}
+	if s.QoE.JoinFailed {
+		buf[40] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[41:], math.Float64bits(s.QoE.JoinTimeMS))
+	binary.LittleEndian.PutUint64(buf[49:], math.Float64bits(s.QoE.BufRatio))
+	binary.LittleEndian.PutUint64(buf[57:], math.Float64bits(s.QoE.BitrateKbps))
+	binary.LittleEndian.PutUint64(buf[65:], math.Float64bits(s.QoE.DurationS))
+	for i := 0; i < metric.NumMetrics; i++ {
+		binary.LittleEndian.PutUint32(buf[73+4*i:], uint32(s.EventIDs[i]))
+	}
+	return append(dst, buf[:]...)
+}
+
+// DecodeBinary decodes one record from b into s. It returns the number of
+// bytes consumed.
+func DecodeBinary(b []byte, s *Session) (int, error) {
+	if len(b) < binarySize {
+		return 0, fmt.Errorf("session: short record: %d bytes, need %d", len(b), binarySize)
+	}
+	s.ID = binary.LittleEndian.Uint64(b[0:])
+	s.Epoch = epoch.Index(int32(binary.LittleEndian.Uint32(b[8:])))
+	for i := 0; i < attr.NumDims; i++ {
+		s.Attrs[i] = int32(binary.LittleEndian.Uint32(b[12+4*i:]))
+	}
+	if b[40]&^1 != 0 {
+		return 0, fmt.Errorf("session: unknown flags %#x", b[40])
+	}
+	s.QoE = metric.QoE{
+		JoinFailed:  b[40]&1 != 0,
+		JoinTimeMS:  math.Float64frombits(binary.LittleEndian.Uint64(b[41:])),
+		BufRatio:    math.Float64frombits(binary.LittleEndian.Uint64(b[49:])),
+		BitrateKbps: math.Float64frombits(binary.LittleEndian.Uint64(b[57:])),
+		DurationS:   math.Float64frombits(binary.LittleEndian.Uint64(b[65:])),
+	}
+	for i := 0; i < metric.NumMetrics; i++ {
+		s.EventIDs[i] = int32(binary.LittleEndian.Uint32(b[73+4*i:]))
+	}
+	return binarySize, nil
+}
+
+// BinarySize returns the fixed record width of the binary encoding.
+func BinarySize() int { return binarySize }
+
+// CSVHeader is the column list of the CSV encoding.
+var CSVHeader = []string{
+	"id", "epoch",
+	"asn", "cdn", "site", "vod_or_live", "player_type", "browser", "conn_type",
+	"join_failed", "join_time_ms", "buf_ratio", "bitrate_kbps", "duration_s",
+	"event_bufratio", "event_bitrate", "event_jointime", "event_joinfailure",
+}
+
+// AppendCSV appends one CSV line (without trailing newline) for s.
+func AppendCSV(dst []byte, s *Session) []byte {
+	dst = strconv.AppendUint(dst, s.ID, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(s.Epoch), 10)
+	for i := 0; i < attr.NumDims; i++ {
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(s.Attrs[i]), 10)
+	}
+	dst = append(dst, ',')
+	if s.QoE.JoinFailed {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	for _, v := range []float64{s.QoE.JoinTimeMS, s.QoE.BufRatio, s.QoE.BitrateKbps, s.QoE.DurationS} {
+		dst = append(dst, ',')
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	for i := 0; i < metric.NumMetrics; i++ {
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(s.EventIDs[i]), 10)
+	}
+	return dst
+}
+
+// ParseCSV parses one CSV line produced by AppendCSV.
+func ParseCSV(line string) (Session, error) {
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	if len(fields) != len(CSVHeader) {
+		return Session{}, fmt.Errorf("session: CSV line has %d fields, want %d", len(fields), len(CSVHeader))
+	}
+	var s Session
+	var err error
+	if s.ID, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return Session{}, fmt.Errorf("session: bad id %q: %w", fields[0], err)
+	}
+	e, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return Session{}, fmt.Errorf("session: bad epoch %q: %w", fields[1], err)
+	}
+	s.Epoch = epoch.Index(e)
+	for i := 0; i < attr.NumDims; i++ {
+		v, err := strconv.ParseInt(fields[2+i], 10, 32)
+		if err != nil {
+			return Session{}, fmt.Errorf("session: bad attribute %q: %w", fields[2+i], err)
+		}
+		s.Attrs[i] = int32(v)
+	}
+	switch fields[9] {
+	case "0":
+	case "1":
+		s.QoE.JoinFailed = true
+	default:
+		return Session{}, fmt.Errorf("session: bad join_failed %q", fields[9])
+	}
+	floats := []*float64{&s.QoE.JoinTimeMS, &s.QoE.BufRatio, &s.QoE.BitrateKbps, &s.QoE.DurationS}
+	for i, p := range floats {
+		v, err := strconv.ParseFloat(fields[10+i], 64)
+		if err != nil {
+			return Session{}, fmt.Errorf("session: bad float %q: %w", fields[10+i], err)
+		}
+		*p = v
+	}
+	for i := 0; i < metric.NumMetrics; i++ {
+		ev, err := strconv.ParseInt(fields[14+i], 10, 32)
+		if err != nil {
+			return Session{}, fmt.Errorf("session: bad event id %q: %w", fields[14+i], err)
+		}
+		s.EventIDs[i] = int32(ev)
+	}
+	return s, nil
+}
+
+// WriteCSV writes a header plus one line per session to w.
+func WriteCSV(w io.Writer, sessions []Session) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(CSVHeader, ",") + "\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for i := range sessions {
+		buf = AppendCSV(buf[:0], &sessions[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads sessions written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Session, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("session: empty CSV input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != strings.Join(CSVHeader, ",") {
+		return nil, fmt.Errorf("session: unexpected CSV header %q", got)
+	}
+	var out []Session
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		s, err := ParseCSV(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(out)+2, err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}

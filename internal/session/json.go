@@ -1,0 +1,110 @@
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/attr"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+// jsonSession is the JSON-lines interchange shape: flat, snake_case,
+// self-describing field names rather than positional arrays, so downstream
+// tools (jq, dataframe loaders) consume it directly.
+type jsonSession struct {
+	ID         uint64  `json:"id"`
+	Epoch      int32   `json:"epoch"`
+	ASN        int32   `json:"asn"`
+	CDN        int32   `json:"cdn"`
+	Site       int32   `json:"site"`
+	VoDOrLive  int32   `json:"vod_or_live"`
+	PlayerType int32   `json:"player_type"`
+	Browser    int32   `json:"browser"`
+	ConnType   int32   `json:"conn_type"`
+	JoinFailed bool    `json:"join_failed"`
+	JoinTimeMS float64 `json:"join_time_ms,omitempty"`
+	BufRatio   float64 `json:"buf_ratio,omitempty"`
+	Bitrate    float64 `json:"bitrate_kbps,omitempty"`
+	DurationS  float64 `json:"duration_s,omitempty"`
+	Events     []int32 `json:"event_ids,omitempty"`
+}
+
+func toJSON(s *Session) jsonSession {
+	j := jsonSession{
+		ID:         s.ID,
+		Epoch:      int32(s.Epoch),
+		ASN:        s.Attrs[attr.ASN],
+		CDN:        s.Attrs[attr.CDN],
+		Site:       s.Attrs[attr.Site],
+		VoDOrLive:  s.Attrs[attr.VoDOrLive],
+		PlayerType: s.Attrs[attr.PlayerType],
+		Browser:    s.Attrs[attr.Browser],
+		ConnType:   s.Attrs[attr.ConnType],
+		JoinFailed: s.QoE.JoinFailed,
+		JoinTimeMS: s.QoE.JoinTimeMS,
+		BufRatio:   s.QoE.BufRatio,
+		Bitrate:    s.QoE.BitrateKbps,
+		DurationS:  s.QoE.DurationS,
+	}
+	if s.EventIDs != NoEvents {
+		j.Events = s.EventIDs[:]
+	}
+	return j
+}
+
+func (j *jsonSession) toSession() Session {
+	s := Session{
+		ID:    j.ID,
+		Epoch: epoch.Index(j.Epoch),
+		QoE: metric.QoE{
+			JoinFailed:  j.JoinFailed,
+			JoinTimeMS:  j.JoinTimeMS,
+			BufRatio:    j.BufRatio,
+			BitrateKbps: j.Bitrate,
+			DurationS:   j.DurationS,
+		},
+		EventIDs: NoEvents,
+	}
+	s.Attrs[attr.ASN] = j.ASN
+	s.Attrs[attr.CDN] = j.CDN
+	s.Attrs[attr.Site] = j.Site
+	s.Attrs[attr.VoDOrLive] = j.VoDOrLive
+	s.Attrs[attr.PlayerType] = j.PlayerType
+	s.Attrs[attr.Browser] = j.Browser
+	s.Attrs[attr.ConnType] = j.ConnType
+	if len(j.Events) == metric.NumMetrics {
+		copy(s.EventIDs[:], j.Events)
+	}
+	return s
+}
+
+// WriteJSONL streams sessions as JSON lines.
+func WriteJSONL(w io.Writer, sessions []Session) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range sessions {
+		j := toJSON(&sessions[i])
+		if err := enc.Encode(&j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads sessions written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Session, error) {
+	dec := json.NewDecoder(r)
+	var out []Session
+	for {
+		var j jsonSession
+		if err := dec.Decode(&j); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("session: JSONL record %d: %w", len(out)+1, err)
+		}
+		out = append(out, j.toSession())
+	}
+}

@@ -1,0 +1,375 @@
+package synth
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+// smallConfig keeps unit-test generation fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 48}
+	cfg.SessionsPerEpoch = 1500
+	cfg.Events.Trace = cfg.Trace
+	return cfg
+}
+
+func newGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeterminismPerEpoch(t *testing.T) {
+	g1 := newGen(t, smallConfig())
+	g2 := newGen(t, smallConfig())
+	a := g1.EpochSessions(7)
+	b := g2.EpochSessions(7)
+	if len(a) != len(b) {
+		t.Fatalf("epoch sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("session %d differs between identical generators", i)
+		}
+	}
+	// Epochs are independent: generating epoch 3 first must not change 7.
+	g3 := newGen(t, smallConfig())
+	_ = g3.EpochSessions(3)
+	c := g3.EpochSessions(7)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("epoch 7 depends on generation order (session %d)", i)
+		}
+	}
+}
+
+func TestSessionsAreValid(t *testing.T) {
+	g := newGen(t, smallConfig())
+	space := g.World().Space()
+	batch := g.EpochSessions(12)
+	if len(batch) == 0 {
+		t.Fatal("empty epoch")
+	}
+	for i := range batch {
+		if err := batch[i].Validate(space); err != nil {
+			t.Fatalf("session %d invalid: %v", i, err)
+		}
+		if batch[i].Epoch != 12 {
+			t.Fatalf("session %d has epoch %d", i, batch[i].Epoch)
+		}
+	}
+}
+
+func TestDiurnalVolume(t *testing.T) {
+	g := newGen(t, smallConfig())
+	peak := g.EpochVolume(20)  // evening
+	trough := g.EpochVolume(8) // morning
+	base := g.Config().SessionsPerEpoch
+	if peak <= trough {
+		t.Errorf("no diurnal cycle: peak %d <= trough %d", peak, trough)
+	}
+	if peak > int(float64(base)*1.4) || trough < int(float64(base)*0.6) {
+		t.Errorf("diurnal swing out of range: %d..%d around %d", trough, peak, base)
+	}
+}
+
+// TestGlobalProblemRatios checks the calibration lands near the paper's
+// aggregate statistics (§2): buffering ratio problems ≈ 10%, bitrate
+// problems ≈ 10-14%, join time ≈ 5-8%, join failures ≈ 4-7%.
+func TestGlobalProblemRatios(t *testing.T) {
+	g := newGen(t, smallConfig())
+	th := metric.Default()
+	var problems [metric.NumMetrics]int
+	total := 0
+	for e := epoch.Index(0); e < 48; e += 4 {
+		batch := g.EpochSessions(e)
+		total += len(batch)
+		for i := range batch {
+			for _, m := range metric.All() {
+				if batch[i].Problem(m, th) {
+					problems[m]++
+				}
+			}
+		}
+	}
+	ratio := func(m metric.Metric) float64 { return float64(problems[m]) / float64(total) }
+	checks := []struct {
+		m      metric.Metric
+		lo, hi float64
+	}{
+		{metric.BufRatio, 0.05, 0.17},
+		{metric.Bitrate, 0.06, 0.20},
+		{metric.JoinTime, 0.02, 0.15},
+		{metric.JoinFailure, 0.02, 0.10},
+	}
+	for _, c := range checks {
+		if r := ratio(c.m); r < c.lo || r > c.hi {
+			t.Errorf("%v global problem ratio = %.4f, want in [%v, %v]", c.m, r, c.lo, c.hi)
+		}
+	}
+}
+
+// TestFig1Shapes checks the value distributions have the paper's Fig. 1
+// shape: >5% of sessions exceed 10% buffering in problem-heavy slices, most
+// sessions below 2 Mbps, join times spanning decades.
+func TestFig1Shapes(t *testing.T) {
+	g := newGen(t, smallConfig())
+	var buf, br, jt []float64
+	for e := epoch.Index(0); e < 24; e++ {
+		for _, s := range g.EpochSessions(e) {
+			if s.QoE.JoinFailed {
+				continue
+			}
+			buf = append(buf, s.QoE.BufRatio)
+			br = append(br, s.QoE.BitrateKbps)
+			jt = append(jt, s.QoE.JoinTimeMS)
+		}
+	}
+	frac := func(xs []float64, pred func(float64) bool) float64 {
+		n := 0
+		for _, x := range xs {
+			if pred(x) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	if f := frac(buf, func(x float64) bool { return x > 0.10 }); f < 0.02 || f > 0.15 {
+		t.Errorf("fraction with buffering > 10%% = %.4f, want a visible tail (paper: >5%%)", f)
+	}
+	if f := frac(br, func(x float64) bool { return x < 2000 }); f < 0.55 {
+		t.Errorf("fraction below 2 Mbps = %.4f, want the majority (paper: >80%%)", f)
+	}
+	if f := frac(jt, func(x float64) bool { return x > 10_000 }); f < 0.02 || f > 0.18 {
+		t.Errorf("fraction with join time > 10 s = %.4f, want ~5%%", f)
+	}
+	// Join-time problems stretch far beyond the threshold.
+	maxJT := 0.0
+	for _, x := range jt {
+		if x > maxJT {
+			maxJT = x
+		}
+	}
+	if maxJT < 30_000 {
+		t.Errorf("max join time = %v ms; expected a heavy tail", maxJT)
+	}
+}
+
+func TestEventsElevateAnchoredSessions(t *testing.T) {
+	g := newGen(t, smallConfig())
+	th := metric.Default()
+	sched := g.Schedule()
+	// Find a chronic buffering event and compare anchored vs global ratio.
+	var anchored, anchorProblems, total, totalProblems int
+	var anchor attr.Key
+	var am metric.Metric
+	found := false
+	for i := range sched.Events {
+		ev := &sched.Events[i]
+		if ev.Chronic && ev.Metric == metric.BufRatio && ev.Severity > 0.15 {
+			anchor, am = ev.Anchor, ev.Metric
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no chronic buffering event in schedule")
+	}
+	for e := epoch.Index(0); e < 24; e++ {
+		for _, s := range g.EpochSessions(e) {
+			total++
+			p := s.Problem(am, th)
+			if p {
+				totalProblems++
+			}
+			if anchor.Matches(s.Attrs) {
+				anchored++
+				if p {
+					anchorProblems++
+				}
+			}
+		}
+	}
+	if anchored < 50 {
+		t.Skipf("anchor %v too small in sample (%d sessions)", anchor, anchored)
+	}
+	anchorRatio := float64(anchorProblems) / float64(anchored)
+	globalRatio := float64(totalProblems) / float64(total)
+	if anchorRatio < 1.5*globalRatio {
+		t.Errorf("anchored ratio %.3f not elevated vs global %.3f", anchorRatio, globalRatio)
+	}
+}
+
+func TestEventTagging(t *testing.T) {
+	g := newGen(t, smallConfig())
+	th := metric.Default()
+	sched := g.Schedule()
+	tagged, taggedProblem := 0, 0
+	for _, s := range g.EpochSessions(5) {
+		for m, id := range s.EventIDs {
+			if id == session.NoEvent {
+				continue
+			}
+			tagged++
+			ev := sched.Event(id)
+			if ev == nil {
+				t.Fatalf("session tagged with unknown event %d", id)
+			}
+			if int(ev.Metric) != m {
+				t.Fatalf("session tagged event metric %v under slot %d", ev.Metric, m)
+			}
+			if !ev.Anchor.Matches(s.Attrs) {
+				t.Fatalf("session tagged with non-matching event %d", id)
+			}
+			if !ev.ActiveAt(5) {
+				t.Fatalf("session tagged with inactive event %d", id)
+			}
+			if s.Problem(ev.Metric, th) {
+				taggedProblem++
+			}
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("no sessions tagged with ground-truth events")
+	}
+	// Most tagged sessions should indeed be problems on the event metric
+	// (bitrate problems can fail to materialise on high-rate ladders).
+	if f := float64(taggedProblem) / float64(tagged); f < 0.7 {
+		t.Errorf("only %.2f of tagged sessions are problems on the event metric", f)
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 3}
+	cfg.SessionsPerEpoch = 100
+	g := newGen(t, cfg)
+	var lastEpoch epoch.Index = -1
+	n := 0
+	err := g.ForEach(func(s *session.Session) error {
+		if s.Epoch < lastEpoch {
+			t.Fatal("ForEach not epoch-ordered")
+		}
+		lastEpoch = s.Epoch
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no sessions")
+	}
+}
+
+func TestForEachEpochParallelMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 8}
+	cfg.SessionsPerEpoch = 200
+	g := newGen(t, cfg)
+
+	serial := make(map[epoch.Index]int)
+	for e := epoch.Index(0); e < 8; e++ {
+		serial[e] = len(g.EpochSessions(e))
+	}
+	var mu syncMap
+	err := g.ForEachEpoch(4, func(e epoch.Index, batch []session.Session) error {
+		mu.set(e, len(batch))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, want := range serial {
+		if got := mu.get(e); got != want {
+			t.Errorf("epoch %d: parallel %d vs serial %d", e, got, want)
+		}
+	}
+}
+
+func TestForEachEpochError(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Trace = epoch.Range{Start: 0, End: 6}
+	cfg.SessionsPerEpoch = 50
+	g := newGen(t, cfg)
+	wantErr := errSentinel("boom")
+	err := g.ForEachEpoch(2, func(e epoch.Index, batch []session.Session) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Errorf("ForEachEpoch error = %v, want %v", err, wantErr)
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+type syncMap struct {
+	mu sync.Mutex
+	m  map[epoch.Index]int
+}
+
+func (s *syncMap) set(e epoch.Index, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[epoch.Index]int)
+	}
+	s.m[e] = v
+}
+
+func (s *syncMap) get(e epoch.Index) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[e]
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Trace = epoch.Range{} },
+		func(c *Config) { c.SessionsPerEpoch = 0 },
+		func(c *Config) { c.DiurnalAmplitude = 1.5 },
+		func(c *Config) { c.Base[0] = -0.1 },
+		func(c *Config) { c.World.NumSites = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBitrateLadderQuantization(t *testing.T) {
+	g := newGen(t, smallConfig())
+	w := g.World()
+	for _, s := range g.EpochSessions(2) {
+		if s.QoE.JoinFailed {
+			continue
+		}
+		ladder := w.Sites[s.Attrs[attr.Site]].BitrateLadder
+		// Value must be within jitter range of some rung.
+		ok := false
+		for _, b := range ladder {
+			if math.Abs(s.QoE.BitrateKbps-b)/b <= 0.05 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("bitrate %v not near any rung of %v", s.QoE.BitrateKbps, ladder)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// White-box tests for the conditional metric-value generators: the problem
+// decision must always be consistent with the drawn value relative to the
+// paper's thresholds.
+
+func valueGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBufRatioConditional(t *testing.T) {
+	g := valueGen(t)
+	r := stats.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		if v := g.bufRatio(r, true); v <= 0.05 || v > 1 {
+			t.Fatalf("problem buffering ratio %v outside (0.05, 1]", v)
+		}
+		if v := g.bufRatio(r, false); v < 0 || v >= 0.05 {
+			t.Fatalf("healthy buffering ratio %v outside [0, 0.05)", v)
+		}
+	}
+}
+
+func TestJoinTimeConditional(t *testing.T) {
+	g := valueGen(t)
+	r := stats.NewRNG(2)
+	var maxProblem float64
+	for i := 0; i < 5000; i++ {
+		v := g.joinTime(r, true)
+		if v <= 10_000 || v > 1e6 {
+			t.Fatalf("problem join time %v outside (10s, 1000s]", v)
+		}
+		if v > maxProblem {
+			maxProblem = v
+		}
+		if h := g.joinTime(r, false); h <= 0 || h >= 10_000 {
+			t.Fatalf("healthy join time %v outside (0, 10s)", h)
+		}
+	}
+	if maxProblem < 30_000 {
+		t.Errorf("problem join times lack the Fig. 1c heavy tail: max %v", maxProblem)
+	}
+}
+
+func TestBitrateConditional(t *testing.T) {
+	g := valueGen(t)
+	r := stats.NewRNG(3)
+	w := g.World()
+	for si := range w.Sites {
+		site := &w.Sites[si]
+		for conn := int32(0); conn < world.NumConnTypes; conn++ {
+			v := g.bitrate(r, site, conn, true)
+			// A decided problem materialises below threshold whenever the
+			// ladder offers a sub-threshold rendition.
+			hasLow := site.BitrateLadder[0] < 700
+			if hasLow && v >= 700 {
+				t.Fatalf("site %d: problem bitrate %v at or above threshold", si, v)
+			}
+			if !hasLow && v < site.BitrateLadder[0]*0.95 {
+				t.Fatalf("site %d: bitrate %v below the only rendition", si, v)
+			}
+
+			h := g.bitrate(r, site, conn, false)
+			// Healthy decisions stay at/above threshold when the ladder
+			// allows it.
+			hasHigh := site.BitrateLadder[len(site.BitrateLadder)-1] >= 700
+			if hasHigh && h < 700 {
+				t.Fatalf("site %d conn %d: healthy bitrate %v below threshold", si, conn, h)
+			}
+		}
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	g := valueGen(t)
+	r := stats.NewRNG(4)
+	for i := 0; i < 5000; i++ {
+		d := g.duration(r)
+		if d < 5 || d > 4*3600 {
+			t.Fatalf("duration %v outside [5s, 4h]", d)
+		}
+	}
+}
+
+func TestProblemDecisionProbability(t *testing.T) {
+	g := valueGen(t)
+	r := stats.NewRNG(5)
+	// With a 0.5 severity on one metric and known base, the decision rate
+	// must approach 1-(1-base)(1-0.5).
+	sev := []float64{0.5, 0, 0, 0}
+	n, hits, caused := 50_000, 0, 0
+	for i := 0; i < n; i++ {
+		problems, eventCaused := g.problemDecisions(r, sev)
+		if problems[0] {
+			hits++
+			if eventCaused[0] {
+				caused++
+			}
+		}
+	}
+	base := g.Config().Base[0]
+	want := 1 - (1-base)*(1-0.5)
+	got := float64(hits) / float64(n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("decision rate = %v, want %v", got, want)
+	}
+	// Cause attribution: the background explains base/want of the mass.
+	wantCaused := 1 - base/want
+	gotCaused := float64(caused) / float64(hits)
+	if math.Abs(gotCaused-wantCaused) > 0.02 {
+		t.Errorf("event-caused fraction = %v, want %v", gotCaused, wantCaused)
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/epoch"
+	"repro/internal/session"
+)
+
+// Index maps epochs to record positions in an uncompressed trace, enabling
+// random access to one epoch (the diagnostic drill-down path) without
+// rescanning the file. Compressed traces are not seekable; Build refuses
+// them.
+type Index struct {
+	// DataOffset is the byte offset of the first record (end of header).
+	DataOffset int64 `json:"data_offset"`
+	// Entries are ordered by epoch.
+	Entries []IndexEntry `json:"entries"`
+}
+
+// IndexEntry locates one epoch's records.
+type IndexEntry struct {
+	Epoch epoch.Index `json:"epoch"`
+	// Offset is the byte offset of the epoch's first record.
+	Offset int64 `json:"offset"`
+	// Count is the number of records in the epoch.
+	Count int64 `json:"count"`
+}
+
+// BuildIndex scans an uncompressed trace file and constructs its index.
+func BuildIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if r.gz != nil {
+		return nil, fmt.Errorf("trace: cannot index a compressed trace")
+	}
+	// The bufio reader has consumed the header; its current file position
+	// is the header length minus what remains buffered.
+	pos, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, err
+	}
+	dataOffset := pos - int64(r.br.Buffered())
+
+	idx := &Index{DataOffset: dataOffset}
+	rec := int64(0)
+	size := int64(session.BinarySize())
+	var s session.Session
+	for {
+		err := r.Next(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		n := len(idx.Entries)
+		if n == 0 || idx.Entries[n-1].Epoch != s.Epoch {
+			if n > 0 && idx.Entries[n-1].Epoch > s.Epoch {
+				return nil, fmt.Errorf("trace: not epoch-ordered (%d after %d)", s.Epoch, idx.Entries[n-1].Epoch)
+			}
+			idx.Entries = append(idx.Entries, IndexEntry{
+				Epoch:  s.Epoch,
+				Offset: dataOffset + rec*size,
+			})
+		}
+		idx.Entries[len(idx.Entries)-1].Count++
+		rec++
+	}
+	return idx, nil
+}
+
+// Save writes the index as JSON.
+func (idx *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(idx); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index written by Save.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var idx Index
+	if err := json.NewDecoder(f).Decode(&idx); err != nil {
+		return nil, fmt.Errorf("trace: decoding index: %w", err)
+	}
+	return &idx, nil
+}
+
+// Find returns the entry for epoch e, or nil.
+func (idx *Index) Find(e epoch.Index) *IndexEntry {
+	for i := range idx.Entries {
+		if idx.Entries[i].Epoch == e {
+			return &idx.Entries[i]
+		}
+	}
+	return nil
+}
+
+// ReadEpoch random-accesses one epoch's sessions from an uncompressed trace
+// using the index.
+func ReadEpoch(path string, idx *Index, e epoch.Index) ([]session.Session, error) {
+	entry := idx.Find(e)
+	if entry == nil {
+		return nil, fmt.Errorf("trace: epoch %d not in index", e)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(entry.Offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	size := session.BinarySize()
+	buf := make([]byte, size)
+	out := make([]session.Session, 0, entry.Count)
+	for i := int64(0); i < entry.Count; i++ {
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return nil, fmt.Errorf("trace: reading epoch %d record %d: %w", e, i, err)
+		}
+		var s session.Session
+		if _, err := session.DecodeBinary(buf, &s); err != nil {
+			return nil, err
+		}
+		if s.Epoch != e {
+			return nil, fmt.Errorf("trace: index out of date: found epoch %d at epoch %d's offset", s.Epoch, e)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/session"
+)
+
+// writeEpochedTrace writes a small uncompressed trace with known per-epoch
+// counts.
+func writeEpochedTrace(t *testing.T, path string, counts map[epoch.Index]int) {
+	t.Helper()
+	w, err := Create(path, HeaderFor(testSpace(t), len(counts), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(1)
+	// Ordered epochs.
+	for e := epoch.Index(0); int(e) < 10; e++ {
+		for i := 0; i < counts[e]; i++ {
+			s := sampleSessions(1)[0]
+			s.ID = id
+			s.Epoch = e
+			id++
+			if err := w.Write(&s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.vqt")
+	counts := map[epoch.Index]int{0: 5, 1: 3, 3: 7} // epoch 2 empty
+	writeEpochedTrace(t, path, counts)
+
+	idx, err := BuildIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(idx.Entries))
+	}
+	for e, want := range counts {
+		entry := idx.Find(e)
+		if entry == nil || entry.Count != int64(want) {
+			t.Fatalf("epoch %d entry = %+v, want count %d", e, entry, want)
+		}
+	}
+	if idx.Find(2) != nil {
+		t.Error("empty epoch should not be indexed")
+	}
+
+	// Save/Load.
+	idxPath := filepath.Join(dir, "t.idx")
+	if err := idx.Save(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(idx.Entries) || back.DataOffset != idx.DataOffset {
+		t.Fatal("index round trip mismatch")
+	}
+
+	// Random access.
+	sessions, err := ReadEpoch(path, back, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 7 {
+		t.Fatalf("read %d sessions for epoch 3, want 7", len(sessions))
+	}
+	for _, s := range sessions {
+		if s.Epoch != 3 {
+			t.Fatalf("random access returned epoch %d", s.Epoch)
+		}
+	}
+	// Cross-check against a full scan.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var scanned []session.Session
+	if err := r.ForEach(func(s *session.Session) error {
+		if s.Epoch == 3 {
+			scanned = append(scanned, *s)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range scanned {
+		if scanned[i] != sessions[i] {
+			t.Fatalf("record %d differs between scan and random access", i)
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Compressed traces cannot be indexed.
+	gz := filepath.Join(dir, "t.vqt.gz")
+	writeEpochedTrace(t, gz, map[epoch.Index]int{0: 2})
+	if _, err := BuildIndex(gz); err == nil {
+		t.Error("compressed trace indexed")
+	}
+	// Missing epoch.
+	plain := filepath.Join(dir, "t.vqt")
+	writeEpochedTrace(t, plain, map[epoch.Index]int{0: 2})
+	idx, err := BuildIndex(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpoch(plain, idx, 9); err == nil {
+		t.Error("missing epoch read succeeded")
+	}
+	if _, err := LoadIndex(filepath.Join(dir, "absent.idx")); err == nil {
+		t.Error("missing index loaded")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	// Exercised here to keep codec coverage beside the container tests.
+	sessions := sampleSessions(5)
+	sessions[2].QoE.JoinFailed = true
+	sessions[3].EventIDs = [4]int32{7, -1, -1, 2}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteJSONL(f, sessions); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got, err := session.ReadJSONL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sessions) {
+		t.Fatalf("read %d, want %d", len(got), len(sessions))
+	}
+	for i := range sessions {
+		if got[i] != sessions[i] {
+			t.Errorf("session %d mismatch:\n got %+v\nwant %+v", i, got[i], sessions[i])
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+func testSpace(t *testing.T) *attr.Space {
+	t.Helper()
+	s, err := attr.NewSpace(map[attr.Dim][]string{
+		attr.ASN:        {"AS1", "AS2", "AS3"},
+		attr.CDN:        {"cdn-a", "cdn-b"},
+		attr.Site:       {"s1", "s2", "s3", "s4"},
+		attr.VoDOrLive:  {"VoD", "Live"},
+		attr.PlayerType: {"Flash", "HTML5"},
+		attr.Browser:    {"Chrome", "Safari"},
+		attr.ConnType:   {"DSL", "Mobile"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleSessions(n int) []session.Session {
+	out := make([]session.Session, n)
+	for i := range out {
+		out[i] = session.Session{
+			ID:    uint64(i + 1),
+			Epoch: 3,
+			Attrs: attr.Vector{int32(i % 3), int32(i % 2), int32(i % 4), 0, 1, 0, 1},
+			QoE: metric.QoE{
+				JoinTimeMS:  float64(1000 + i),
+				BufRatio:    0.01 * float64(i%5),
+				BitrateKbps: 2000,
+				DurationS:   300,
+			},
+			EventIDs: session.NoEvents,
+		}
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, compress bool) {
+	t.Helper()
+	space := testSpace(t)
+	h := HeaderFor(space, 336, 12345)
+	h.Comment = "unit test"
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h, compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSessions(100)
+	if err := w.WriteAll(want); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 100 {
+		t.Errorf("Count = %d, want 100", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != ErrClosed {
+		t.Errorf("double Close = %v, want ErrClosed", err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d sessions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("session %d mismatch", i)
+		}
+	}
+	hdr := r.Header()
+	if hdr.Epochs != 336 || hdr.Seed != 12345 || hdr.Comment != "unit test" {
+		t.Errorf("header = %+v", hdr)
+	}
+	back, err := hdr.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cardinality(attr.Site) != 4 {
+		t.Errorf("restored space cardinality = %d", back.Cardinality(attr.Site))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPlain(t *testing.T)      { roundTrip(t, false) }
+func TestRoundTripCompressed(t *testing.T) { roundTrip(t, true) }
+
+func TestFileRoundTrip(t *testing.T) {
+	for _, name := range []string{"t.vqt", "t.vqt.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		w, err := Create(path, HeaderFor(testSpace(t), 10, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sampleSessions(10)
+		if err := w.WriteAll(want); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 10 || got[9] != want[9] {
+			t.Errorf("%s: bad round trip", name)
+		}
+		r.Close()
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, HeaderFor(testSpace(t), 1, 0), false)
+	w.WriteAll(sampleSessions(7))
+	w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := r.ForEach(func(s *session.Session) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("ForEach visited %d, want 7", n)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE........"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated record: write a valid header then half a record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, HeaderFor(testSpace(t), 1, 0), false)
+	s := sampleSessions(1)[0]
+	w.Write(&s)
+	w.Close()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out session.Session
+	if err := r.Next(&out); err == nil || err == io.EOF {
+		t.Errorf("truncated record: Next = %v, want decode error", err)
+	}
+}
+
+func TestVersionCheck(t *testing.T) {
+	var buf bytes.Buffer
+	h := HeaderFor(testSpace(t), 1, 0)
+	w, _ := NewWriter(&buf, h, false)
+	w.Close()
+	// Corrupt the embedded version digit (JSON "version":1).
+	raw := buf.Bytes()
+	idx := bytes.Index(raw, []byte(`"version":1`))
+	if idx < 0 {
+		t.Fatal("version field not found")
+	}
+	raw[idx+len(`"version":`)] = '9'
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestClosedReaderWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, HeaderFor(testSpace(t), 1, 0), false)
+	w.Close()
+	s := sampleSessions(1)[0]
+	if err := w.Write(&s); err != ErrClosed {
+		t.Errorf("Write after Close = %v", err)
+	}
+	w2, _ := NewWriter(&buf, HeaderFor(testSpace(t), 1, 0), false)
+	w2.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if err := r.Next(&s); err != ErrClosed {
+		t.Errorf("Next after Close = %v", err)
+	}
+	if err := r.Close(); err != ErrClosed {
+		t.Errorf("double Close = %v", err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package whatif implements the paper's §5 improvement analyses. Fixing a
+// critical cluster in an epoch lowers the problem ratio of the sessions
+// attributed to it down to that epoch's global average problem ratio — the
+// paper's model of unavoidable background problems. On top of that single
+// primitive the package builds:
+//
+//   - the oracle top-k curves of Fig. 11 (clusters ranked by prevalence,
+//     persistence, or coverage);
+//   - the attribute-restricted selection comparison of Fig. 12;
+//   - the proactive history-based strategy of Table 4 (train on one
+//     window, fix in the next, compare with the test window's own oracle);
+//   - the reactive strategy of Fig. 13 / Table 5 (detect a critical
+//     cluster after its first hour, fix the remainder of its streak).
+package whatif
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+// Ranking selects how candidate critical clusters are ordered (§5.1).
+type Ranking uint8
+
+// Rankings of Fig. 11.
+const (
+	ByPrevalence Ranking = iota
+	ByPersistence
+	ByCoverage
+)
+
+var rankingNames = []string{"prevalence", "persistence", "coverage"}
+
+// String returns the ranking name.
+func (r Ranking) String() string {
+	if int(r) < len(rankingNames) {
+		return rankingNames[r]
+	}
+	return fmt.Sprintf("Ranking(%d)", uint8(r))
+}
+
+// Outcome reports an alleviation simulation.
+type Outcome struct {
+	// TotalProblems is the problem-session count of the simulated window.
+	TotalProblems float64
+	// Alleviated is the (fractional) number of problem sessions removed.
+	Alleviated float64
+}
+
+// Fraction returns Alleviated / TotalProblems (0 when empty).
+func (o Outcome) Fraction() float64 {
+	if o.TotalProblems == 0 {
+		return 0
+	}
+	return o.Alleviated / o.TotalProblems
+}
+
+// epochAlleviation returns the problem sessions removed by fixing critical
+// cluster cs in an epoch with the given global ratio: the cluster's
+// attributed problems drop to the global background expectation.
+func epochAlleviation(cs *core.CriticalSummary, globalRatio float64) float64 {
+	a := cs.AttributedProblems - cs.AttributedSessions*globalRatio
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// FixKeys simulates fixing the given critical-cluster keys in every epoch
+// of the window where they are critical.
+func FixKeys(tr *core.TraceResult, m metric.Metric, keys map[attr.Key]bool, within epoch.Range) Outcome {
+	var out Outcome
+	for e := within.Start; e < within.End; e++ {
+		er := tr.At(e)
+		if er == nil {
+			continue
+		}
+		ms := &er.Metrics[m]
+		out.TotalProblems += float64(ms.GlobalProblems)
+		for i := range ms.Critical {
+			cs := &ms.Critical[i]
+			if keys[cs.Key] {
+				out.Alleviated += epochAlleviation(cs, ms.GlobalRatio)
+			}
+		}
+	}
+	return out
+}
+
+// rankKeys orders the critical keys of a history by the chosen ranking,
+// best first, with deterministic tie-breaking.
+func rankKeys(h *analysis.History, r Ranking) []attr.Key {
+	keys := make([]attr.Key, 0, len(h.Critical))
+	for k := range h.Critical {
+		keys = append(keys, k)
+	}
+	score := func(k attr.Key) float64 {
+		switch r {
+		case ByPrevalence:
+			return h.Prevalence(analysis.CriticalClusters, k)
+		case ByPersistence:
+			_, max := h.Persistence(analysis.CriticalClusters, k)
+			return float64(max)
+		default:
+			return h.Critical[k].TotalProblems
+		}
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := score(keys[i]), score(keys[j])
+		if a != b {
+			return a > b
+		}
+		// Secondary: coverage, then key order.
+		ca, cb := h.Critical[keys[i]].TotalProblems, h.Critical[keys[j]].TotalProblems
+		if ca != cb {
+			return ca > cb
+		}
+		return analysis.KeyLess(keys[i], keys[j])
+	})
+	return keys
+}
+
+// CurvePoint is one Fig. 11 sample: fixing the top Fraction of critical
+// clusters alleviates Alleviated (fraction of all problem sessions).
+type CurvePoint struct {
+	Fraction   float64
+	TopK       int
+	Alleviated float64
+}
+
+// Curve computes the Fig. 11 alleviation curve: for each requested fraction
+// of the (ranked) critical-cluster population, the share of all problem
+// sessions alleviated by fixing that top set across the whole window.
+func Curve(tr *core.TraceResult, m metric.Metric, r Ranking, fractions []float64) []CurvePoint {
+	h := analysis.BuildHistory(tr, m)
+	ranked := rankKeys(h, r)
+	return curveOver(tr, m, ranked, len(ranked), fractions)
+}
+
+func curveOver(tr *core.TraceResult, m metric.Metric, ranked []attr.Key, denom int, fractions []float64) []CurvePoint {
+	out := make([]CurvePoint, 0, len(fractions))
+	for _, f := range fractions {
+		k := int(f * float64(denom))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		set := make(map[attr.Key]bool, k)
+		for _, key := range ranked[:k] {
+			set[key] = true
+		}
+		o := FixKeys(tr, m, set, tr.Trace)
+		out = append(out, CurvePoint{Fraction: f, TopK: k, Alleviated: o.Fraction()})
+	}
+	return out
+}
+
+// RestrictedCurve computes Fig. 12: candidates restricted to critical
+// clusters whose mask is in allowed (nil means no restriction), ranked by
+// coverage; fractions are normalised by the unrestricted critical-cluster
+// population so the series are comparable.
+func RestrictedCurve(tr *core.TraceResult, m metric.Metric, allowed map[attr.Mask]bool, fractions []float64) []CurvePoint {
+	h := analysis.BuildHistory(tr, m)
+	ranked := rankKeys(h, ByCoverage)
+	denom := len(ranked)
+	if allowed != nil {
+		filtered := ranked[:0:0]
+		for _, k := range ranked {
+			if allowed[k.Mask] {
+				filtered = append(filtered, k)
+			}
+		}
+		ranked = filtered
+	}
+	return curveOver(tr, m, ranked, denom, fractions)
+}
+
+// ProactiveResult reports Table 4 for one metric and one train/test split.
+type ProactiveResult struct {
+	// New is the alleviated fraction in the test window when fixing the
+	// top clusters learned on the training window.
+	New float64
+	// Potential is the test window's own oracle (top clusters by coverage
+	// computed on the test window).
+	Potential float64
+	// OfPotential = New / Potential.
+	OfPotential float64
+	// Selected is the number of clusters fixed.
+	Selected int
+}
+
+// Proactive runs the §5.2 history-based strategy: learn the top topFrac of
+// critical clusters (by coverage) on the training window, fix them in the
+// test window, and compare against the test window's own oracle. Both
+// selections use the same cluster budget (topFrac of the test window's
+// critical population) so New/Potential compare like for like — at the
+// paper's scale the two windows' populations are indistinguishable, but at
+// laptop scale an asymmetric budget lets the learned set spuriously beat
+// the oracle.
+func Proactive(tr *core.TraceResult, m metric.Metric, train, test epoch.Range, topFrac float64) ProactiveResult {
+	trainH := analysis.BuildHistory(tr.Slice(train), m)
+	testH := analysis.BuildHistory(tr.Slice(test), m)
+
+	budget := int(topFrac * float64(len(testH.Critical)))
+	if budget < 1 {
+		budget = 1
+	}
+	pick := func(h *analysis.History) map[attr.Key]bool {
+		ranked := rankKeys(h, ByCoverage)
+		k := budget
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		set := make(map[attr.Key]bool, k)
+		for _, key := range ranked[:k] {
+			set[key] = true
+		}
+		return set
+	}
+
+	learned := pick(trainH)
+	oracle := pick(testH)
+
+	res := ProactiveResult{Selected: len(learned)}
+	res.New = FixKeys(tr, m, learned, test).Fraction()
+	res.Potential = FixKeys(tr, m, oracle, test).Fraction()
+	if res.Potential > 0 {
+		res.OfPotential = res.New / res.Potential
+	}
+	return res
+}
+
+// ReactivePoint is one epoch of the Fig. 13 timeseries.
+type ReactivePoint struct {
+	Epoch epoch.Index
+	// Original is the epoch's problem-session count.
+	Original float64
+	// AfterReactive is the count after reactive alleviation.
+	AfterReactive float64
+	// NotInCritical counts problem sessions outside every critical cluster
+	// (unreachable by cluster fixing).
+	NotInCritical float64
+}
+
+// ReactiveResult reports Table 5 for one metric plus the Fig. 13 series.
+type ReactiveResult struct {
+	// New is the alleviated fraction under 1-hour-detection reactive
+	// fixing.
+	New float64
+	// Potential fixes every critical cluster in every epoch it occurs
+	// (including the first hour).
+	Potential float64
+	// OfPotential = New / Potential.
+	OfPotential float64
+	// Series is the per-epoch timeseries.
+	Series []ReactivePoint
+}
+
+// Reactive runs the §5.3 strategy over the whole window: each critical
+// cluster's streak is detected after its first epoch and alleviated for the
+// remaining epochs of the streak.
+func Reactive(tr *core.TraceResult, m metric.Metric) ReactiveResult {
+	h := analysis.BuildHistory(tr, m)
+
+	// Epochs in which each key is alleviated: streaks minus the first
+	// epoch of each streak.
+	fixable := make(map[attr.Key]map[epoch.Index]bool, len(h.Critical))
+	for k := range h.Critical {
+		set := make(map[epoch.Index]bool)
+		for _, streak := range h.Streaks(analysis.CriticalClusters, k) {
+			for e := streak.Start + 1; e < streak.End; e++ {
+				set[e] = true
+			}
+		}
+		if len(set) > 0 {
+			fixable[k] = set
+		}
+	}
+
+	var res ReactiveResult
+	var totalProblems, reactive, potential float64
+	res.Series = make([]ReactivePoint, 0, len(tr.Epochs))
+	for i := range tr.Epochs {
+		er := &tr.Epochs[i]
+		ms := &er.Metrics[m]
+		var epochReactive float64
+		for j := range ms.Critical {
+			cs := &ms.Critical[j]
+			a := epochAlleviation(cs, ms.GlobalRatio)
+			potential += a
+			if set := fixable[cs.Key]; set != nil && set[er.Epoch] {
+				epochReactive += a
+			}
+		}
+		reactive += epochReactive
+		totalProblems += float64(ms.GlobalProblems)
+		res.Series = append(res.Series, ReactivePoint{
+			Epoch:         er.Epoch,
+			Original:      float64(ms.GlobalProblems),
+			AfterReactive: float64(ms.GlobalProblems) - epochReactive,
+			NotInCritical: float64(ms.GlobalProblems - ms.CoveredProblems),
+		})
+	}
+	if totalProblems > 0 {
+		res.New = reactive / totalProblems
+		res.Potential = potential / totalProblems
+	}
+	if res.Potential > 0 {
+		res.OfPotential = res.New / res.Potential
+	}
+	return res
+}
+
+// DefaultFractions returns the log-spaced x-axis the Fig. 11/12 curves are
+// sampled at, adapted to the critical-cluster population size at laptop
+// scale (the paper spans 1e-4..1 over a much larger population).
+func DefaultFractions() []float64 {
+	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+}

@@ -1,0 +1,280 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+func k(pairs map[attr.Dim]int32) attr.Key { return attr.NewKey(pairs) }
+
+// twoClusterTrace builds 4 epochs with two critical clusters:
+//   - "big" (CDN=1): critical in epochs 0-3 (one streak), 100 attributed
+//     problems per epoch out of 400 attributed sessions;
+//   - "small" (ASN=2): critical in epochs 1 and 3 (two streaks of one),
+//     30 attributed problems out of 60 sessions.
+//
+// Every epoch has 1000 sessions and 200 problem sessions (global ratio 0.2).
+func twoClusterTrace() *core.TraceResult {
+	big := k(map[attr.Dim]int32{attr.CDN: 1})
+	small := k(map[attr.Dim]int32{attr.ASN: 2})
+	tr := &core.TraceResult{
+		Trace:  epoch.Range{Start: 0, End: 4},
+		Epochs: make([]core.EpochResult, 4),
+	}
+	for i := range tr.Epochs {
+		er := &tr.Epochs[i]
+		er.Epoch = epoch.Index(i)
+		ms := &er.Metrics[metric.JoinFailure]
+		ms.Metric = metric.JoinFailure
+		ms.GlobalSessions = 1000
+		ms.GlobalProblems = 200
+		ms.GlobalRatio = 0.2
+		ms.Critical = append(ms.Critical, core.CriticalSummary{
+			Key: big, AttributedProblems: 100, AttributedSessions: 400,
+		})
+		ms.CoveredProblems = 100
+		if i == 1 || i == 3 {
+			ms.Critical = append(ms.Critical, core.CriticalSummary{
+				Key: small, AttributedProblems: 30, AttributedSessions: 60,
+			})
+			ms.CoveredProblems = 130
+		}
+		ms.NumProblemClusters = len(ms.Critical)
+		for _, cs := range ms.Critical {
+			ms.ProblemKeys = append(ms.ProblemKeys, cs.Key)
+		}
+	}
+	return tr
+}
+
+// Expected alleviation per epoch: big: 100 - 400×0.2 = 20; small: 30 -
+// 60×0.2 = 18.
+
+func TestFixKeys(t *testing.T) {
+	tr := twoClusterTrace()
+	big := k(map[attr.Dim]int32{attr.CDN: 1})
+	small := k(map[attr.Dim]int32{attr.ASN: 2})
+
+	o := FixKeys(tr, metric.JoinFailure, map[attr.Key]bool{big: true}, tr.Trace)
+	if o.TotalProblems != 800 {
+		t.Errorf("total = %v", o.TotalProblems)
+	}
+	if math.Abs(o.Alleviated-80) > 1e-9 { // 20 × 4 epochs
+		t.Errorf("alleviated = %v, want 80", o.Alleviated)
+	}
+	if math.Abs(o.Fraction()-0.1) > 1e-9 {
+		t.Errorf("fraction = %v, want 0.1", o.Fraction())
+	}
+
+	o = FixKeys(tr, metric.JoinFailure, map[attr.Key]bool{small: true}, tr.Trace)
+	if math.Abs(o.Alleviated-36) > 1e-9 { // 18 × 2 epochs
+		t.Errorf("alleviated = %v, want 36", o.Alleviated)
+	}
+
+	// Window restriction.
+	o = FixKeys(tr, metric.JoinFailure, map[attr.Key]bool{big: true}, epoch.Range{Start: 2, End: 4})
+	if o.TotalProblems != 400 || math.Abs(o.Alleviated-40) > 1e-9 {
+		t.Errorf("windowed = %+v", o)
+	}
+
+	if (Outcome{}).Fraction() != 0 {
+		t.Error("empty outcome fraction should be 0")
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	tr := twoClusterTrace()
+	for _, r := range []Ranking{ByPrevalence, ByPersistence, ByCoverage} {
+		pts := Curve(tr, metric.JoinFailure, r, []float64{0.5, 1.0})
+		if len(pts) != 2 {
+			t.Fatalf("%v: %d points", r, len(pts))
+		}
+		if pts[1].Alleviated < pts[0].Alleviated {
+			t.Errorf("%v: curve not monotone: %v", r, pts)
+		}
+		// Fixing everything alleviates (80+36)/800.
+		if math.Abs(pts[1].Alleviated-116.0/800) > 1e-9 {
+			t.Errorf("%v: full alleviation = %v, want %v", r, pts[1].Alleviated, 116.0/800)
+		}
+		// Top-1 under any ranking is the big cluster (higher prevalence,
+		// persistence, and coverage).
+		if math.Abs(pts[0].Alleviated-0.1) > 1e-9 {
+			t.Errorf("%v: top-1 alleviation = %v, want 0.1", r, pts[0].Alleviated)
+		}
+	}
+}
+
+func TestRestrictedCurve(t *testing.T) {
+	tr := twoClusterTrace()
+	cdnOnly := map[attr.Mask]bool{attr.MaskOf(attr.CDN): true}
+	pts := RestrictedCurve(tr, metric.JoinFailure, cdnOnly, []float64{1.0})
+	if math.Abs(pts[0].Alleviated-0.1) > 1e-9 {
+		t.Errorf("CDN-only = %v, want 0.1", pts[0].Alleviated)
+	}
+	all := RestrictedCurve(tr, metric.JoinFailure, nil, []float64{1.0})
+	if all[0].Alleviated <= pts[0].Alleviated {
+		t.Error("unrestricted should beat CDN-only")
+	}
+	// Restricting to a mask with no criticals yields zero.
+	siteOnly := map[attr.Mask]bool{attr.MaskOf(attr.Site): true}
+	empty := RestrictedCurve(tr, metric.JoinFailure, siteOnly, []float64{1.0})
+	if empty[0].Alleviated != 0 {
+		t.Errorf("site-only = %v, want 0", empty[0].Alleviated)
+	}
+}
+
+func TestProactive(t *testing.T) {
+	tr := twoClusterTrace()
+	train := epoch.Range{Start: 0, End: 2}
+	test := epoch.Range{Start: 2, End: 4}
+	// topFrac 0.5 of 2 keys → 1 key: the big one (more coverage in train).
+	res := Proactive(tr, metric.JoinFailure, train, test, 0.5)
+	if res.Selected != 1 {
+		t.Fatalf("selected = %d", res.Selected)
+	}
+	// Test window: big alleviates 20×2 = 40 of 400.
+	if math.Abs(res.New-0.1) > 1e-9 {
+		t.Errorf("New = %v, want 0.1", res.New)
+	}
+	// Oracle on the test window also picks big (coverage 200 vs 30).
+	if math.Abs(res.Potential-0.1) > 1e-9 {
+		t.Errorf("Potential = %v, want 0.1", res.Potential)
+	}
+	if math.Abs(res.OfPotential-1) > 1e-9 {
+		t.Errorf("OfPotential = %v, want 1", res.OfPotential)
+	}
+
+	// Fixing everything learned (topFrac 1) catches both keys.
+	res = Proactive(tr, metric.JoinFailure, train, test, 1)
+	want := (20*2 + 18.0) / 400 // small critical only in epoch 3 of test
+	if math.Abs(res.New-want) > 1e-9 {
+		t.Errorf("New = %v, want %v", res.New, want)
+	}
+}
+
+func TestReactive(t *testing.T) {
+	tr := twoClusterTrace()
+	res := Reactive(tr, metric.JoinFailure)
+	// big: streak 0-3, fixed in epochs 1,2,3 → 3×20 = 60.
+	// small: two streaks of length 1 → never fixed reactively.
+	if math.Abs(res.New-60.0/800) > 1e-9 {
+		t.Errorf("New = %v, want %v", res.New, 60.0/800)
+	}
+	// Potential: all critical epochs: big 4×20 + small 2×18 = 116.
+	if math.Abs(res.Potential-116.0/800) > 1e-9 {
+		t.Errorf("Potential = %v, want %v", res.Potential, 116.0/800)
+	}
+	if math.Abs(res.OfPotential-60.0/116) > 1e-9 {
+		t.Errorf("OfPotential = %v", res.OfPotential)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series length = %d", len(res.Series))
+	}
+	// Epoch 0 is the first hour of big's streak: nothing alleviated.
+	if res.Series[0].AfterReactive != 200 {
+		t.Errorf("epoch 0 after = %v, want 200", res.Series[0].AfterReactive)
+	}
+	// Epoch 1: big alleviated (20), small not (streak of 1).
+	if math.Abs(res.Series[1].AfterReactive-180) > 1e-9 {
+		t.Errorf("epoch 1 after = %v, want 180", res.Series[1].AfterReactive)
+	}
+	// Not-in-critical = 200-130 = 70 in epochs 1 and 3, 100 otherwise.
+	if res.Series[1].NotInCritical != 70 || res.Series[0].NotInCritical != 100 {
+		t.Errorf("not-in-critical = %v / %v", res.Series[0].NotInCritical, res.Series[1].NotInCritical)
+	}
+}
+
+func TestNegativeAlleviationClamped(t *testing.T) {
+	// A cluster whose attributed ratio is below the global average must not
+	// produce negative alleviation.
+	tr := twoClusterTrace()
+	ms := &tr.Epochs[0].Metrics[metric.JoinFailure]
+	ms.Critical[0].AttributedProblems = 10
+	ms.Critical[0].AttributedSessions = 400 // ratio 0.025 < global 0.2
+	big := k(map[attr.Dim]int32{attr.CDN: 1})
+	o := FixKeys(tr, metric.JoinFailure, map[attr.Key]bool{big: true}, epoch.Range{Start: 0, End: 1})
+	if o.Alleviated != 0 {
+		t.Errorf("alleviated = %v, want 0", o.Alleviated)
+	}
+}
+
+func TestRankingString(t *testing.T) {
+	if ByPrevalence.String() != "prevalence" || ByCoverage.String() != "coverage" {
+		t.Error("ranking names wrong")
+	}
+	if Ranking(9).String() == "" {
+		t.Error("unknown ranking should not be empty")
+	}
+}
+
+func TestDefaultFractions(t *testing.T) {
+	fs := DefaultFractions()
+	if len(fs) == 0 || fs[len(fs)-1] != 1 {
+		t.Error("fractions should end at 1")
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] <= fs[i-1] {
+			t.Error("fractions not increasing")
+		}
+	}
+}
+
+// TestCurveProperties drives Curve with randomized traces and checks
+// structural invariants: monotonicity in the fraction, alleviation within
+// [0, 1], and ranking-independence of the full-set point.
+func TestCurveProperties(t *testing.T) {
+	f := func(nEpochs uint8, counts [6]uint16, probs [6]uint8) bool {
+		epochs := int(nEpochs%8) + 2
+		tr := &core.TraceResult{
+			Trace:  epoch.Range{Start: 0, End: epoch.Index(epochs)},
+			Epochs: make([]core.EpochResult, epochs),
+		}
+		for e := 0; e < epochs; e++ {
+			er := &tr.Epochs[e]
+			er.Epoch = epoch.Index(e)
+			ms := &er.Metrics[metric.BufRatio]
+			var sumP float64
+			for c := 0; c < 6; c++ {
+				if (int(counts[c])+e)%3 == 0 {
+					continue // key not critical this epoch
+				}
+				n := float64(counts[c]%500) + 20
+				p := float64(probs[c]) / 255 * n
+				sumP += p
+				ms.Critical = append(ms.Critical, core.CriticalSummary{
+					Key:                k(map[attr.Dim]int32{attr.Site: int32(c)}),
+					AttributedProblems: p,
+					AttributedSessions: n,
+				})
+			}
+			// Keep the fixture consistent with the detector's invariants:
+			// attributed problems never exceed the epoch's global problems.
+			ms.GlobalProblems = int32(sumP) + 50
+			ms.GlobalSessions = 10 * ms.GlobalProblems
+			ms.GlobalRatio = 0.1
+		}
+		fractions := []float64{0.1, 0.3, 0.6, 1.0}
+		for _, r := range []Ranking{ByPrevalence, ByPersistence, ByCoverage} {
+			pts := Curve(tr, metric.BufRatio, r, fractions)
+			prev := -1.0
+			for _, pt := range pts {
+				if pt.Alleviated < prev-1e-9 || pt.Alleviated < 0 || pt.Alleviated > 1 {
+					return false
+				}
+				prev = pt.Alleviated
+			}
+		}
+		a := Curve(tr, metric.BufRatio, ByPrevalence, []float64{1})[0].Alleviated
+		b := Curve(tr, metric.BufRatio, ByCoverage, []float64{1})[0].Alleviated
+		return a-b < 1e-9 && b-a < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

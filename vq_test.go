@@ -1,0 +1,153 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func quickStudy(t *testing.T) *Study {
+	t.Helper()
+	cfg := QuickConfig(1)
+	// Keep the facade test fast.
+	cfg.Synth.Trace.End = 24
+	cfg.Synth.Events.Trace = cfg.Synth.Trace
+	cfg.Synth.SessionsPerEpoch = 1500
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+var sharedStudy *Study
+
+func study(t *testing.T) *Study {
+	if sharedStudy == nil {
+		sharedStudy = quickStudy(t)
+	}
+	return sharedStudy
+}
+
+func TestStudyBasics(t *testing.T) {
+	st := study(t)
+	if st.Result() == nil || st.Result().Trace.Len() != 24 {
+		t.Fatal("missing analysis result")
+	}
+	if st.AttrSpace() == nil {
+		t.Fatal("missing attribute space")
+	}
+	if len(st.GroundTruth()) == 0 {
+		t.Fatal("no ground-truth events")
+	}
+	if st.Suite() == nil {
+		t.Fatal("missing suite")
+	}
+}
+
+func TestTopCriticalAndFix(t *testing.T) {
+	st := study(t)
+	top := st.TopCritical(BufRatio, 5)
+	if len(top) == 0 {
+		t.Fatal("no critical clusters")
+	}
+	frac := st.FixClusters(BufRatio, top)
+	if frac <= 0 || frac > 1 {
+		t.Fatalf("alleviated fraction = %v", frac)
+	}
+	// Fixing more clusters helps at least as much.
+	more := st.FixClusters(BufRatio, st.TopCritical(BufRatio, 50))
+	if more < frac-1e-9 {
+		t.Errorf("fixing more clusters alleviated less: %v vs %v", more, frac)
+	}
+	if st.FixClusters(BufRatio, nil) != 0 {
+		t.Error("fixing nothing should alleviate nothing")
+	}
+}
+
+func TestHistoryAccess(t *testing.T) {
+	st := study(t)
+	h := st.History(JoinFailure)
+	if h == nil || len(h.Critical) == 0 {
+		t.Fatal("no join-failure history")
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	st := study(t)
+	var buf bytes.Buffer
+	if err := st.WriteTrace(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := r.ForEach(func(*Session) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace written")
+	}
+	if r.Header().Epochs != 24 {
+		t.Errorf("header epochs = %d", r.Header().Epochs)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	st := study(t)
+	var buf bytes.Buffer
+	if err := st.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Figure 11(c)", "Table 5"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	def := DefaultConfig(7)
+	if def.Synth.Seed != 7 || def.Synth.Trace.Len() != 336 {
+		t.Errorf("DefaultConfig = %+v", def.Synth.Trace)
+	}
+	quick := QuickConfig(7)
+	if quick.Synth.Trace.Len() >= def.Synth.Trace.Len() {
+		t.Error("QuickConfig should be shorter")
+	}
+	if quick.Synth.Events.Trace != quick.Synth.Trace {
+		t.Error("QuickConfig events trace not aligned")
+	}
+}
+
+// TestPaperScaleSmoke exercises the full-population configuration (15K
+// ASNs). It is long; enable with REPRO_LONG=1.
+func TestPaperScaleSmoke(t *testing.T) {
+	if os.Getenv("REPRO_LONG") == "" {
+		t.Skip("set REPRO_LONG=1 to run the paper-scale smoke test")
+	}
+	cfg := DefaultConfig(1)
+	cfg.Synth.World = world.PaperScaleConfig()
+	cfg.Synth.Trace.End = 24
+	cfg.Synth.Events.Trace = cfg.Synth.Trace
+	cfg.Synth.SessionsPerEpoch = 20_000
+	cfg.Analysis = core.DefaultConfig(cfg.Synth.SessionsPerEpoch)
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Suite().Table1(os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[BufRatio].MeanCriticalCoverage <= 0 {
+		t.Error("no coverage at paper-scale world")
+	}
+}
