@@ -171,11 +171,13 @@ func main() {
 	}
 	rows := analysis.Table1(tr)
 	printed := map[metric.Metric]bool{}
+	var order []metric.Metric // metrics in first-seen order, for deterministic output
 	for _, m := range metrics {
 		if printed[m] {
 			continue
 		}
 		printed[m] = true
+		order = append(order, m)
 		var ratio float64
 		for i := range tr.Epochs {
 			ms := &tr.Epochs[i].Metrics[m]
@@ -193,7 +195,7 @@ func main() {
 	}
 
 	// Top critical clusters per metric.
-	for m := range printed {
+	for _, m := range order {
 		h := analysis.BuildHistory(tr, m)
 		keys := h.TopCritical(*top)
 		ct := report.Table{

@@ -119,7 +119,9 @@ func main() {
 
 	close(stopFlush)
 	if httpSrv != nil {
-		httpSrv.Close()
+		if err := httpSrv.Close(); err != nil {
+			log.Printf("closing http server: %v", err)
+		}
 	}
 	if err := collector.Close(); err != nil {
 		log.Printf("closing collector: %v", err)
@@ -129,7 +131,9 @@ func main() {
 	if err := tw.Close(); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("wrote %d assembled sessions to %s\n", count, *out)
 }
 

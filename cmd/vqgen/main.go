@@ -90,7 +90,9 @@ func main() {
 		if *asCSV || *asJSONL || (len(*out) > 3 && (*out)[len(*out)-3:] == ".gz") {
 			log.Fatal("-index requires an uncompressed binary trace")
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 		idx, err := trace.BuildIndex(*out)
 		if err != nil {
 			log.Fatal(err)

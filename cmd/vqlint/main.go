@@ -1,0 +1,78 @@
+// Command vqlint runs the repo's static-analysis rules (internal/lint) over
+// the given package patterns and exits non-zero on findings, so it can gate
+// CI alongside go vet and the race detector.
+//
+// Usage:
+//
+//	vqlint [-rules floatcmp,maporder,...] [-list] [patterns...]
+//
+// Patterns default to ./... and follow the go tool's shape. Findings print
+// one per line as file:line:col: message [rule]. Suppress a finding with a
+// trailing or preceding comment: //vqlint:ignore <rule> <rationale>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vqlint", flag.ContinueOnError)
+	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "vqlint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vqlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

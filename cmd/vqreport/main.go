@@ -70,7 +70,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	switch {
@@ -140,6 +142,8 @@ func renderAblations(w io.Writer, suite *experiments.Suite) {
 		if err := step(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/core/eps"
 	"repro/internal/epoch"
 	"repro/internal/metric"
 	"repro/internal/stats"
@@ -228,10 +229,10 @@ type Table1Row struct {
 // Table1 computes the reduction and coverage aggregates of Table 1.
 func Table1(tr *core.TraceResult) [metric.NumMetrics]Table1Row {
 	var rows [metric.NumMetrics]Table1Row
-	n := float64(len(tr.Epochs))
-	if n == 0 {
+	if len(tr.Epochs) == 0 {
 		return rows
 	}
+	n := float64(len(tr.Epochs))
 	for _, m := range metric.All() {
 		row := Table1Row{Metric: m}
 		for i := range tr.Epochs {
@@ -310,7 +311,7 @@ type MaskShare struct {
 }
 
 func safeDiv(a, b float64) float64 {
-	if b == 0 {
+	if eps.Zero(b) {
 		return 0
 	}
 	return a / b

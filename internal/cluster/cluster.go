@@ -9,8 +9,10 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/attr"
+	"repro/internal/core/eps"
 	"repro/internal/epoch"
 	"repro/internal/metric"
 	"repro/internal/session"
@@ -173,7 +175,7 @@ func BuildView(t *Table, m metric.Metric, th metric.Thresholds) (*View, error) {
 		table:          t,
 	}
 	v.Threshold = th.ProblemRatioFactor * v.GlobalRatio
-	if v.GlobalRatio == 0 {
+	if eps.Zero(v.GlobalRatio) {
 		return v, nil
 	}
 	for k, c := range t.ByKey {
@@ -198,7 +200,9 @@ func (v *View) IsProblemCounts(n, problems int32) bool {
 	if n < v.MinSessions || v.Threshold <= 0 || n == 0 {
 		return false
 	}
-	if float64(problems)/float64(n) < v.Threshold {
+	// Tolerance-aware: a cluster at exactly factor × global passes even when
+	// the product sits one ulp below the quotient.
+	if !eps.GTE(float64(problems)/float64(n), v.Threshold) {
 		return false
 	}
 	if v.MinZScore > 0 {
@@ -218,7 +222,7 @@ func (v *View) IsProblemCounts(n, problems int32) bool {
 // ratios are exactly the pattern the phase transition looks for.
 func (v *View) IsProblemRatioOnly(c Counts) bool {
 	n := c.Sessions(v.Metric)
-	return n >= v.MinSessions && v.Threshold > 0 && c.Ratio(v.Metric) >= v.Threshold
+	return n >= v.MinSessions && v.Threshold > 0 && eps.GTE(c.Ratio(v.Metric), v.Threshold)
 }
 
 // Counts returns the counts of key k from the underlying table (the root
@@ -249,7 +253,8 @@ func (v *View) ProblemSessionsInClusters() int32 {
 	return covered
 }
 
-// problemMasks returns the distinct masks present in a key set.
+// problemMasks returns the distinct masks present in a key set, sorted so
+// downstream passes probe them in a deterministic order.
 func problemMasks[V any](set map[attr.Key]V) []attr.Mask {
 	seen := make(map[attr.Mask]bool)
 	var masks []attr.Mask
@@ -259,6 +264,7 @@ func problemMasks[V any](set map[attr.Key]V) []attr.Mask {
 			masks = append(masks, k.Mask)
 		}
 	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
 	return masks
 }
 

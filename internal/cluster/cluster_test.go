@@ -227,6 +227,30 @@ func TestJoinFailureExcludesNothing(t *testing.T) {
 	}
 }
 
+// TestProblemRatioBoundary pins the 1.5× rule at its exact boundary: a
+// cluster whose problem ratio equals factor × global — with the threshold
+// derived through the same multiplication BuildView performs, so it may sit
+// one ulp off the quotient — is a problem cluster, and a cluster one
+// session short is not.
+func TestProblemRatioBoundary(t *testing.T) {
+	global := 1.0 / 3.0
+	v := &View{
+		Metric:      metric.BufRatio,
+		GlobalRatio: global,
+		Threshold:   1.5 * global, // = 0.5, up to one ulp
+		MinSessions: 50,
+	}
+	if !v.IsProblemCounts(100, 50) {
+		t.Error("cluster at exactly 1.5× the global ratio must be a problem cluster")
+	}
+	if v.IsProblemCounts(100, 49) {
+		t.Error("cluster below 1.5× the global ratio must not be a problem cluster")
+	}
+	if v.IsProblemCounts(49, 25) {
+		t.Error("cluster under the size floor must not be a problem cluster")
+	}
+}
+
 func TestProblemSessionsInClusters(t *testing.T) {
 	var sessions []Lite
 	// One concentrated problem cell plus diffuse low-rate background

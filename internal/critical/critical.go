@@ -115,8 +115,15 @@ func DetectOpts(v *cluster.View, opts Options) *Result {
 	// cluster with no critical ancestor may instead be a coarse shadow of a
 	// finer critical cluster beneath it (Fig. 5: CDN1 and ASN1 are problem
 	// clusters explained by the critical CDN1∧ASN1), so fall back to
-	// critical descendants.
+	// critical descendants. The keys are visited in sorted order so the
+	// fractional attribution sums accumulate identically on every run (map
+	// order would perturb their low bits).
+	problemKeys := make([]attr.Key, 0, len(v.Problem))
 	for k := range v.Problem {
+		problemKeys = append(problemKeys, k)
+	}
+	sort.Slice(problemKeys, func(i, j int) bool { return keyLess(problemKeys[i], problemKeys[j]) })
+	for _, k := range problemKeys {
 		nearest := nearestCritical(r.Critical, k)
 		if len(nearest) == 0 {
 			nearest = criticalDescendants(r.Critical, k)

@@ -291,7 +291,9 @@ func (s *Suite) Fig10(w io.Writer) ([metric.NumMetrics]analysis.Breakdown, error
 		if err := t.Render(w); err != nil {
 			return out, err
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }
@@ -410,7 +412,9 @@ func (s *Suite) Fig11(w io.Writer) (map[whatif.Ranking]map[metric.Metric][]whati
 		if err := fig.Render(w); err != nil {
 			return out, err
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

@@ -74,7 +74,7 @@ func (c *Collector) Listen(addr string) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // the caller's error is the closed collector, not the unwind
 		return errors.New("heartbeat: collector closed")
 	}
 	c.ln = ln
@@ -162,15 +162,27 @@ func (c *Collector) CloseGrace(grace time.Duration) error {
 	ln := c.ln
 	c.mu.Unlock()
 
+	var closeErr error
+	lnClosed := false
+	closeListener := func() {
+		if err := ln.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+		lnClosed = true
+	}
 	if ln != nil {
 		// Connections may sit in the kernel accept queue (their dials
 		// already succeeded); give the accept loop a moment to drain them
 		// before tearing the listener down, so their heartbeats are not
 		// silently discarded.
 		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(time.Now().Add(150 * time.Millisecond))
+			if err := tl.SetDeadline(time.Now().Add(150 * time.Millisecond)); err != nil {
+				// Can't bound the drain; tear the listener down now rather
+				// than risk hanging in accept.
+				closeListener()
+			}
 		} else {
-			ln.Close()
+			closeListener()
 		}
 	}
 
@@ -184,16 +196,16 @@ func (c *Collector) CloseGrace(grace time.Duration) error {
 	case <-time.After(grace):
 		c.mu.Lock()
 		for conn := range c.conns {
-			conn.Close()
+			_ = conn.Close() // best-effort teardown of stragglers
 		}
 		c.mu.Unlock()
 		<-done
 	}
-	if ln != nil {
-		ln.Close()
+	if ln != nil && !lnClosed {
+		closeListener()
 	}
 	c.asm.Flush(true)
-	return nil
+	return closeErr
 }
 
 // Emitter is the client-side measurement module: it reports one session's

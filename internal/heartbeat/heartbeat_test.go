@@ -14,6 +14,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/metric"
 	"repro/internal/session"
+	"repro/internal/testutil"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -276,6 +277,7 @@ func TestIdleTimeoutFlush(t *testing.T) {
 }
 
 func TestTCPCollectorEndToEnd(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	var mu sync.Mutex
 	var got []session.Session
 	c := NewCollector(func(s session.Session) {
@@ -344,6 +346,38 @@ func TestTCPCollectorEndToEnd(t *testing.T) {
 	}
 	if err := c.Close(); err == nil {
 		t.Error("double Close accepted")
+	}
+}
+
+// TestCollectorShutdownNoLeak verifies CloseGrace tears down the accept
+// loop and every connection handler: an idle client that never completes
+// its stream must be force-closed after the grace window, leaving the
+// goroutine count at its pre-test baseline.
+func TestCollectorShutdownNoLeak(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+	c := NewCollector(func(session.Session) {})
+	c.Logf = nil
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a Hello so the handler is mid-stream, then go idle.
+	w := NewWriter(conn)
+	if err := w.Write(&Message{Kind: KindHello, SessionID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the collector has actually accepted the connection so the
+	// shutdown exercises the straggler path, not a race with accept.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().ConnsAccepted == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.CloseGrace(50 * time.Millisecond); err != nil {
+		t.Fatalf("CloseGrace: %v", err)
 	}
 }
 

@@ -119,10 +119,13 @@ func (e *HTTPEmitter) Flush() error {
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse; the status decides success
+	cerr := resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		return fmt.Errorf("heartbeat: collector returned %s", resp.Status)
+	}
+	if cerr != nil {
+		return cerr
 	}
 	e.buf = e.buf[:0]
 	e.frames = 0

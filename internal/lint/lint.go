@@ -1,0 +1,183 @@
+// Package lint is a repo-specific static-analysis framework built entirely
+// on the standard library (go/parser, go/ast, go/types). It exists because
+// the analysis pipeline is numeric, map-heavy, and increasingly concurrent:
+// the failure modes that corrupt its results — float equality on thresholds,
+// nondeterministic map iteration feeding reports, copied mutexes, leaked
+// goroutines, dropped errors — do not fail tests, so they are locked out by
+// tooling instead. cmd/vqlint runs every registered analyzer over the tree
+// and exits non-zero on findings, gating CI.
+//
+// Analyzers report diagnostics with a stable rule ID. A finding can be
+// suppressed by a trailing or preceding comment:
+//
+//	//vqlint:ignore <rule>[,<rule>...] [rationale]
+//
+// The comment suppresses the named rules (or "all") on its own line and on
+// the line that follows, so both trailing and standalone placements work.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule ID, a position, and a message.
+type Diagnostic struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Rule)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the stable rule ID used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description of what the rule catches.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rule       string
+	report     func(Diagnostic)
+	suppressed func(rule string, line int, file string) bool
+}
+
+// Reportf records a finding at pos unless a suppression comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed != nil && p.suppressed(p.rule, position.Line, position.Filename) {
+		return
+	}
+	p.report(Diagnostic{Rule: p.rule, Pos: position, Msg: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// All returns the registered analyzers in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		MapOrder,
+		MutexCopy,
+		LockHeld,
+		CtxCheck,
+		ErrDrop,
+	}
+}
+
+// ByName returns the analyzer with the given rule ID, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to every package and returns the findings
+// sorted by file, line, column, then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				rule:       a.Name,
+				report:     func(d Diagnostic) { diags = append(diags, d) },
+				suppressed: sup.covers,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//vqlint:ignore"
+
+// suppressions maps file → line → suppressed rule set ("all" matches every
+// rule).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(rule string, line int, file string) bool {
+	rules := s[file][line]
+	return rules != nil && (rules[rule] || rules["all"])
+}
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				// Cover the comment's own line (trailing placement) and the
+				// next line (standalone placement).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					rules := byLine[line]
+					if rules == nil {
+						rules = make(map[string]bool)
+						byLine[line] = rules
+					}
+					for _, r := range strings.Split(fields[0], ",") {
+						if r = strings.TrimSpace(r); r != "" {
+							rules[r] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

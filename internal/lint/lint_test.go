@@ -1,0 +1,587 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// All fixtures share one FileSet and source importer so the (expensive)
+// stdlib type-checking is paid once per test binary, not once per fixture.
+var (
+	fixtureFset     = token.NewFileSet()
+	fixtureImporter = importer.ForCompiler(fixtureFset, "source", nil)
+	fixtureSeq      int
+)
+
+// analyzeSrc type-checks one in-memory fixture file and runs the given
+// analyzers over it, returning the sorted diagnostics.
+func analyzeSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fixtureSeq++
+	name := fmt.Sprintf("fixture%d.go", fixtureSeq)
+	f, err := parser.ParseFile(fixtureFset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: fixtureImporter}
+	tpkg, err := conf.Check(fmt.Sprintf("fixture%d", fixtureSeq), fixtureFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return Run([]*Package{{
+		Path:  tpkg.Path(),
+		Fset:  fixtureFset,
+		Files: []*ast.File{f},
+		Types: tpkg,
+		Info:  info,
+	}}, analyzers)
+}
+
+// rulesOf extracts the rule IDs of a diagnostic list, in order.
+func rulesOf(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Rule
+	}
+	return out
+}
+
+// TestAnalyzers is the per-analyzer fixture table: each analyzer gets a
+// positive case (deliberately broken code that must trigger it), a negative
+// case (correct code that must not), and a suppression case (the positive
+// code with a //vqlint:ignore comment, which must silence it).
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+		src      string
+		want     []string // expected rule IDs, in diagnostic order
+	}{
+		// ---- floatcmp ----
+		{
+			name:     "floatcmp positive",
+			analyzer: FloatCmp,
+			src: `package fixture
+func atThreshold(ratio, threshold float64) bool {
+	return ratio == threshold
+}
+func offThreshold(ratio float64) bool {
+	return ratio != 0.05
+}
+`,
+			want: []string{"floatcmp", "floatcmp"},
+		},
+		{
+			name:     "floatcmp negative",
+			analyzer: FloatCmp,
+			src: `package fixture
+import "sort"
+const a, b = 0.05, 1.5
+var constOnly = a == b // both operands constant: exact by construction
+func ordered(x, y float64) bool { return x > y }
+func comparator(xs []float64) {
+	// Inside a sort comparator an epsilon would break strict weak
+	// ordering, so direct equality is exempt there.
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i] == xs[j] {
+			return false
+		}
+		return xs[i] < xs[j]
+	})
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "floatcmp suppressed",
+			analyzer: FloatCmp,
+			src: `package fixture
+func sentinel(v float64) bool {
+	return v == 0 //vqlint:ignore floatcmp zero is an exact sentinel here
+}
+`,
+			want: nil,
+		},
+
+		// ---- maporder ----
+		{
+			name:     "maporder positive append",
+			analyzer: MapOrder,
+			src: `package fixture
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: []string{"maporder"},
+		},
+		{
+			name:     "maporder positive float accumulation",
+			analyzer: MapOrder,
+			src: `package fixture
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+			want: []string{"maporder"},
+		},
+		{
+			name:     "maporder positive output",
+			analyzer: MapOrder,
+			src: `package fixture
+import "fmt"
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			want: []string{"maporder"},
+		},
+		{
+			name:     "maporder negative sorted after",
+			analyzer: MapOrder,
+			src: `package fixture
+import "sort"
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+func countOnly(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++ // integer accumulation is order-independent
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "maporder suppressed",
+			analyzer: MapOrder,
+			src: `package fixture
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//vqlint:ignore maporder order is irrelevant to the caller
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+
+		// ---- mutexcopy ----
+		{
+			name:     "mutexcopy positive",
+			analyzer: MutexCopy,
+			src: `package fixture
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+func byValue(c counter) int { // parameter copies the lock
+	return c.n
+}
+func assign(c *counter) {
+	dup := *c // assignment copies the lock
+	dup.n++
+}
+func iterate(cs []counter) {
+	for _, c := range cs { // range value copies the lock
+		_ = c.n
+	}
+}
+`,
+			want: []string{"mutexcopy", "mutexcopy", "mutexcopy"},
+		},
+		{
+			name:     "mutexcopy negative",
+			analyzer: MutexCopy,
+			src: `package fixture
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+func byPointer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+func fresh() *counter {
+	c := counter{} // composite literal constructs, not copies
+	return &c
+}
+func iterate(cs []counter) {
+	for i := range cs {
+		_ = cs[i].n
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "mutexcopy suppressed",
+			analyzer: MutexCopy,
+			src: `package fixture
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+func snapshot(c counter) int { //vqlint:ignore mutexcopy value is never locked after construction
+	return c.n
+}
+`,
+			want: nil,
+		},
+
+		// ---- lockheld ----
+		{
+			name:     "lockheld positive early return",
+			analyzer: LockHeld,
+			src: `package fixture
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+func bad(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n // leaves c.mu held
+	}
+	c.mu.Unlock()
+	return 0
+}
+`,
+			want: []string{"lockheld"},
+		},
+		{
+			name:     "lockheld positive fall off end",
+			analyzer: LockHeld,
+			src: `package fixture
+import "sync"
+func leak(mu *sync.Mutex, n *int) {
+	mu.Lock()
+	*n++
+}
+`,
+			want: []string{"lockheld"},
+		},
+		{
+			name:     "lockheld negative",
+			analyzer: LockHeld,
+			src: `package fixture
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n > 0 {
+		return c.n
+	}
+	return 0
+}
+func paired(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "lockheld suppressed",
+			analyzer: LockHeld,
+			src: `package fixture
+import "sync"
+func handoff(mu *sync.Mutex) {
+	mu.Lock()
+	//vqlint:ignore lockheld ownership transfers to the caller
+}
+`,
+			want: nil,
+		},
+
+		// ---- ctxcheck ----
+		{
+			name:     "ctxcheck positive",
+			analyzer: CtxCheck,
+			src: `package fixture
+func spawn(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			println(n) // no receive, no select, no context, no WaitGroup
+		}()
+	}
+}
+`,
+			want: []string{"ctxcheck"},
+		},
+		{
+			name:     "ctxcheck negative",
+			analyzer: CtxCheck,
+			src: `package fixture
+import (
+	"context"
+	"sync"
+)
+func viaChannel(n int, stop chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			<-stop
+		}()
+	}
+}
+func viaWaitGroup(n int, wg *sync.WaitGroup) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			println(n)
+		}()
+	}
+}
+func viaContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			<-ctx.Done()
+		}()
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "ctxcheck suppressed",
+			analyzer: CtxCheck,
+			src: `package fixture
+func spawn(n int) {
+	for i := 0; i < n; i++ {
+		//vqlint:ignore ctxcheck fire-and-forget by design in this demo
+		go func() {
+			println(n)
+		}()
+	}
+}
+`,
+			want: nil,
+		},
+
+		// ---- errdrop ----
+		{
+			name:     "errdrop positive",
+			analyzer: ErrDrop,
+			src: `package fixture
+import "os"
+func drop(f *os.File) {
+	f.Close()
+}
+`,
+			want: []string{"errdrop"},
+		},
+		{
+			name:     "errdrop negative",
+			analyzer: ErrDrop,
+			src: `package fixture
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+func handled(f *os.File) error {
+	defer f.Close() // deferred cleanup is exempt
+	_ = f.Sync()    // explicit discard is exempt
+	var sb strings.Builder
+	sb.WriteString("x")          // strings.Builder never errors
+	fmt.Println("hello")         // terminal chatter
+	fmt.Fprintln(os.Stderr, "x") // std stream
+	fmt.Fprintln(&sb, "y")       // in-memory sink
+	return f.Close()
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "errdrop suppressed",
+			analyzer: ErrDrop,
+			src: `package fixture
+import "os"
+func drop(f *os.File) {
+	f.Close() //vqlint:ignore errdrop best-effort cleanup on the error path
+}
+`,
+			want: nil,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := analyzeSrc(t, tc.src, tc.analyzer)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(tc.want), formatDiags(got))
+			}
+			for i, rule := range rulesOf(got) {
+				if rule != tc.want[i] {
+					t.Errorf("diagnostic %d rule = %s, want %s", i, rule, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func formatDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+// TestAllAnalyzersFireOnBrokenFixture feeds one deliberately broken file to
+// the full analyzer set and checks every rule fires — the acceptance
+// criterion that no analyzer silently degrades into a no-op.
+func TestAllAnalyzersFireOnBrokenFixture(t *testing.T) {
+	const src = `package fixture
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func broken(g guarded, m map[string]float64, f *os.File, vals []float64) float64 {
+	g.mu.Lock()
+	var total float64
+	for k, v := range m {
+		total += v
+		fmt.Println(k)
+	}
+	for i := 0; i < 3; i++ {
+		go func() {
+			println(i)
+		}()
+	}
+	f.Close()
+	if total == 0.05 {
+		return g.hold()
+	}
+	return total
+}
+func (g *guarded) hold() float64 {
+	g.mu.Lock()
+	return float64(g.n)
+}
+`
+	got := analyzeSrc(t, src, All()...)
+	fired := make(map[string]bool)
+	for _, d := range got {
+		fired[d.Rule] = true
+	}
+	for _, a := range All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s did not fire on the broken fixture; diagnostics:\n%s", a.Name, formatDiags(got))
+		}
+	}
+}
+
+// TestSuppressionMechanics pins the comment placement contract: a
+// //vqlint:ignore covers its own line and the next, names specific rules or
+// "all", and does not leak beyond that.
+func TestSuppressionMechanics(t *testing.T) {
+	const src = `package fixture
+func trailing(a, b float64) bool {
+	return a == b //vqlint:ignore floatcmp trailing placement
+}
+func standalone(a, b float64) bool {
+	//vqlint:ignore floatcmp standalone placement
+	return a == b
+}
+func wildcard(a, b float64) bool {
+	return a == b //vqlint:ignore all wildcard
+}
+func wrongRule(a, b float64) bool {
+	return a == b //vqlint:ignore errdrop names a different rule
+}
+func outOfRange(a, b float64) bool {
+	//vqlint:ignore floatcmp two lines above the finding
+
+	return a == b
+}
+`
+	got := analyzeSrc(t, src, FloatCmp)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (wrongRule and outOfRange):\n%s", len(got), formatDiags(got))
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "floatcmp", Pos: token.Position{Filename: "x.go", Line: 3, Column: 9}, Msg: "float comparison"}
+	if got, want := d.String(), "x.go:3:9: float comparison [floatcmp]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestByName covers analyzer lookup.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuchrule") != nil {
+		t.Error("ByName of an unknown rule should be nil")
+	}
+}
+
+// TestSelfCheck runs every analyzer over the repository itself and demands
+// zero findings: the tree must stay vqlint-clean, and any new finding must
+// be fixed or explicitly suppressed with a rationale.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags := Run(pkgs, All())
+	if len(diags) != 0 {
+		t.Errorf("repository is not vqlint-clean: %d findings\n%s", len(diags), formatDiags(diags))
+	}
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy reports values of types containing a sync lock (Mutex, RWMutex,
+// WaitGroup, Cond, Once, Pool, Map) being copied: by-value receivers,
+// parameters and results, assignments from existing values, and by-value
+// range variables. A copied lock guards nothing — the copy and the original
+// lock independently, which is a data race that -race only catches if the
+// schedule cooperates.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "copying a struct that contains a sync.Mutex (or other sync primitive)",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(p, node.Recv, node.Type)
+			case *ast.FuncLit:
+				checkSignature(p, nil, node.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					checkValueCopy(p, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					checkValueCopy(p, v)
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil && containsLock(p.TypeOf(node.Value)) {
+					p.Reportf(node.Value.Pos(), "range value copies %s which contains a sync lock; iterate by index or pointer", p.TypeOf(node.Value))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkSignature(p *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				p.Reportf(field.Type.Pos(), "%s passes %s by value but it contains a sync lock; use a pointer", what, t)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// checkValueCopy flags reads that copy an existing lock-containing value.
+// Composite literals and calls construct fresh values and are fine; loading
+// through an identifier, field, index, or dereference duplicates a live
+// lock.
+func checkValueCopy(p *Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := p.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t) {
+		p.Reportf(rhs.Pos(), "assignment copies %s which contains a sync lock; use a pointer", t)
+	}
+}
+
+// lockTypeNames are the sync primitives that must never be copied after
+// first use.
+var lockTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Cond": true, "Once": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t (transitively through struct fields and
+// array elements, but not through pointers) embeds a sync primitive.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// LockHeld reports functions that return — or fall off the end — while a
+// sync.Mutex/RWMutex locked in the same function is still held and no
+// unlock has been deferred. The collector and assembler rely on short
+// critical sections; an early return that skips the unlock deadlocks every
+// other connection handler.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "return (or fall-through) while a mutex locked in this function is still held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			st := newLockState()
+			terminated := walkLockBlock(p, body.List, st)
+			if !terminated {
+				for name := range st.held {
+					if !st.deferred[name] {
+						p.Reportf(body.Rbrace, "function ends with %s still locked and no deferred unlock", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+type lockState struct {
+	// held maps the rendered receiver expression ("c.mu") to locked-ness.
+	held map[string]bool
+	// deferred marks receivers with a deferred unlock in scope.
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[string]bool), deferred: make(map[string]bool)}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// walkLockBlock interprets a statement list, tracking lock/unlock pairs on
+// sync mutexes. It returns true when the list definitely terminates (ends
+// in a return). The interpretation is deliberately shallow: loops, selects
+// and switches are scanned for diagnostics in a cloned state without
+// propagating their effects, which keeps the rule conservative.
+func walkLockBlock(p *Pass, stmts []ast.Stmt, st *lockState) (terminated bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			applyLockCall(p, s.X, st)
+		case *ast.DeferStmt:
+			if recv, op := mutexCall(p, s.Call); op == "Unlock" || op == "RUnlock" {
+				st.deferred[recv] = true
+			}
+		case *ast.ReturnStmt:
+			for name := range st.held {
+				if !st.deferred[name] {
+					p.Reportf(s.Pos(), "return with %s still locked and no deferred unlock", name)
+				}
+			}
+			return true
+		case *ast.BlockStmt:
+			if walkLockBlock(p, s.List, st) {
+				return true
+			}
+		case *ast.IfStmt:
+			thenSt := st.clone()
+			thenTerm := walkLockBlock(p, s.Body.List, thenSt)
+			elseSt := st.clone()
+			elseTerm := false
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseTerm = walkLockBlock(p, e.List, elseSt)
+				case *ast.IfStmt:
+					elseTerm = walkLockBlock(p, []ast.Stmt{e}, elseSt)
+				}
+			}
+			if thenTerm && elseTerm {
+				return true
+			}
+			// Merge the branches that continue past the if.
+			merged := newLockState()
+			for _, out := range []struct {
+				st   *lockState
+				term bool
+			}{{thenSt, thenTerm}, {elseSt, elseTerm}} {
+				if out.term {
+					continue
+				}
+				for k := range out.st.held {
+					merged.held[k] = true
+				}
+				for k := range out.st.deferred {
+					merged.deferred[k] = true
+				}
+			}
+			*st = *merged
+		case *ast.ForStmt:
+			walkLockBlock(p, s.Body.List, st.clone())
+		case *ast.RangeStmt:
+			walkLockBlock(p, s.Body.List, st.clone())
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if comm, ok := c.(*ast.CommClause); ok {
+					walkLockBlock(p, comm.Body, st.clone())
+				}
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockBlock(p, cc.Body, st.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockBlock(p, cc.Body, st.clone())
+				}
+			}
+		}
+	}
+	return false
+}
+
+func applyLockCall(p *Pass, e ast.Expr, st *lockState) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	recv, op := mutexCall(p, call)
+	switch op {
+	case "Lock", "RLock":
+		st.held[recv] = true
+	case "Unlock", "RUnlock":
+		delete(st.held, recv)
+	}
+}
+
+// mutexCall matches calls of the form recv.Lock()/Unlock()/RLock()/RUnlock()
+// where recv is a sync.Mutex or sync.RWMutex (possibly behind a pointer),
+// returning the rendered receiver and the operation.
+func mutexCall(p *Pass, call *ast.CallExpr) (recv, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder reports order-sensitive work done while ranging over a map. Map
+// iteration order is randomised per run, so a loop that appends keys to an
+// outer slice (without a later sort), emits report rows or writer output,
+// or accumulates floating-point sums produces nondeterministic reports and
+// non-reproducible critical-cluster rankings. The safe patterns are: collect
+// keys then sort before use, or iterate a pre-sorted key slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive append/output/float-accumulation inside a map range without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges scans one function body (not descending into nested
+// function literals, which are visited as functions in their own right).
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	sorts := collectSortCalls(p, body)
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := typeUnder(p.TypeOf(rng.X)).(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(p, rng, sorts)
+		return true
+	})
+}
+
+// sortCall is one call to a sort/slices ordering function, with the
+// rendering of its first argument.
+type sortCall struct {
+	pos token.Pos
+	arg string
+}
+
+func collectSortCalls(p *Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkg, name := calleePkgFunc(p, call)
+		if (pkg == "sort" || pkg == "slices") && sortFuncNames[name] {
+			out = append(out, sortCall{pos: call.Pos(), arg: types.ExprString(call.Args[0])})
+		}
+		return true
+	})
+	return out
+}
+
+var sortFuncNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt, sorts []sortCall) {
+	inspectShallow(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rng, stmt, sorts)
+		case *ast.CallExpr:
+			if emitsOutput(p, stmt) {
+				p.Reportf(stmt.Pos(), "output emitted while ranging over a map; iterate sorted keys for deterministic reports")
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, rng *ast.RangeStmt, stmt *ast.AssignStmt, sorts []sortCall) {
+	switch stmt.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) into a slice that outlives the loop, with no
+		// sort afterwards: the slice order is the map iteration order.
+		if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return
+		}
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) || len(call.Args) == 0 {
+			return
+		}
+		target := types.ExprString(stmt.Lhs[0])
+		if types.ExprString(call.Args[0]) != target {
+			return
+		}
+		if declaredInside(p, stmt.Lhs[0], rng) {
+			return
+		}
+		for _, s := range sorts {
+			if s.pos > rng.End() && s.arg == target {
+				return
+			}
+		}
+		p.Reportf(stmt.Pos(), "%s accumulates map keys in map order and is never sorted afterwards", target)
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// Floating-point accumulation order changes the low bits of the sum.
+		if len(stmt.Lhs) == 1 && isFloat(p.TypeOf(stmt.Lhs[0])) && !declaredInside(p, stmt.Lhs[0], rng) {
+			p.Reportf(stmt.Pos(), "floating-point accumulation in map order; iterate sorted keys for reproducible sums")
+		}
+	}
+}
+
+// declaredInside reports whether e is an identifier whose declaration lies
+// within the range statement (loop-local state is order-independent by
+// construction).
+func declaredInside(p *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.ObjectOf(id)
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// emitsOutput reports whether a call writes user-visible output: the fmt
+// print family, io/writer Write* methods, and the repo's report builders
+// (Table.AddRow, Figure.AddPoint).
+func emitsOutput(p *Pass, call *ast.CallExpr) bool {
+	pkg, name := calleePkgFunc(p, call)
+	if pkg == "fmt" && printFamily[name] {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "AddRow", "AddPoint":
+		// Methods only — a package-level function of the same name is not an
+		// output sink.
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return true
+		}
+	}
+	return false
+}
+
+var printFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// calleePkgFunc returns (package path's base name, function name) for calls
+// of the form pkg.Func, and ("", method or func name) otherwise.
+func calleePkgFunc(p *Pass, call *ast.CallExpr) (pkg, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return "", id.Name
+		}
+		return "", ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.ObjectOf(id).(*types.PkgName); ok {
+			return pn.Imported().Name(), sel.Sel.Name
+		}
+	}
+	return "", sel.Sel.Name
+}
+
+// inspectShallow walks n without descending into nested function literals.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// typeUnder returns t's underlying type (nil-safe).
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

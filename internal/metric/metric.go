@@ -8,6 +8,8 @@ package metric
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/core/eps"
 )
 
 // Metric identifies one of the four quality metrics.
@@ -157,17 +159,20 @@ func (q QoE) Defined(m Metric) bool {
 }
 
 // Problem reports whether the session is a problem session on metric m
-// under thresholds t. Undefined metrics are never problems.
+// under thresholds t. Undefined metrics are never problems. The boundary
+// comparisons are tolerance-aware (eps.GT/eps.LT): a session at exactly the
+// threshold — even when the value was computed arithmetically and sits one
+// ulp off — is not a problem session.
 func (q QoE) Problem(m Metric, t Thresholds) bool {
 	switch m {
 	case JoinFailure:
 		return q.JoinFailed
 	case BufRatio:
-		return !q.JoinFailed && q.BufRatio > t.BufRatio
+		return !q.JoinFailed && eps.GT(q.BufRatio, t.BufRatio)
 	case Bitrate:
-		return !q.JoinFailed && q.BitrateKbps < t.BitrateKbps
+		return !q.JoinFailed && eps.LT(q.BitrateKbps, t.BitrateKbps)
 	case JoinTime:
-		return !q.JoinFailed && q.JoinTimeMS > t.JoinTimeMS
+		return !q.JoinFailed && eps.GT(q.JoinTimeMS, t.JoinTimeMS)
 	}
 	return false
 }

@@ -1,6 +1,9 @@
 package metric
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestParseRoundTrip(t *testing.T) {
 	for _, m := range All() {
@@ -114,6 +117,34 @@ func TestProblemClassification(t *testing.T) {
 			if got := c.q.Problem(m, th); got != c.want[m] {
 				t.Errorf("%s: Problem(%v) = %v, want %v", c.name, m, got, c.want[m])
 			}
+		}
+	}
+}
+
+// TestProblemBoundariesUlpTolerant pins the tolerance-aware boundary
+// semantics at the paper's exact thresholds: a session whose metric value is
+// mathematically on the 5% / 700 kbps / 10 s boundary but one ulp off —
+// the normal outcome of computing the value arithmetically — must classify
+// exactly like the boundary itself (not a problem).
+func TestProblemBoundariesUlpTolerant(t *testing.T) {
+	th := Default()
+	cases := []struct {
+		name string
+		q    QoE
+		m    Metric
+		want bool
+	}{
+		{"buf ratio one ulp above 0.05", QoE{BufRatio: math.Nextafter(0.05, 1), BitrateKbps: 3000, JoinTimeMS: 100}, BufRatio, false},
+		{"buf ratio derived by division", QoE{BufRatio: 5.0 / 100.0, BitrateKbps: 3000, JoinTimeMS: 100}, BufRatio, false},
+		{"buf ratio clearly above", QoE{BufRatio: 0.051, BitrateKbps: 3000, JoinTimeMS: 100}, BufRatio, true},
+		{"bitrate one ulp below 700", QoE{BufRatio: 0.01, BitrateKbps: math.Nextafter(700, 0), JoinTimeMS: 100}, Bitrate, false},
+		{"bitrate clearly below", QoE{BufRatio: 0.01, BitrateKbps: 699, JoinTimeMS: 100}, Bitrate, true},
+		{"join time one ulp above 10s", QoE{BufRatio: 0.01, BitrateKbps: 3000, JoinTimeMS: math.Nextafter(10_000, 20_000)}, JoinTime, false},
+		{"join time clearly above", QoE{BufRatio: 0.01, BitrateKbps: 3000, JoinTimeMS: 10_001}, JoinTime, true},
+	}
+	for _, c := range cases {
+		if got := c.q.Problem(c.m, th); got != c.want {
+			t.Errorf("%s: Problem(%v) = %v, want %v", c.name, c.m, got, c.want)
 		}
 	}
 }

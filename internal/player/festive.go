@@ -32,7 +32,7 @@ func (f *Festive) Next(s State) int {
 		window = 5
 	}
 	safety := f.Safety
-	if safety == 0 {
+	if safety <= 0 {
 		safety = 0.85
 	}
 	persistence := f.UpPersistence

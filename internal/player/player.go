@@ -111,10 +111,10 @@ type RateBased struct {
 // Next implements ABR.
 func (a RateBased) Next(s State) int {
 	safety := a.Safety
-	if safety == 0 {
+	if safety <= 0 {
 		safety = 0.8
 	}
-	if s.LastThroughputKbps == 0 {
+	if s.LastThroughputKbps <= 0 {
 		return 0 // conservative start
 	}
 	budget := safety * s.LastThroughputKbps
@@ -141,11 +141,11 @@ type BufferBased struct {
 // Next implements ABR.
 func (a BufferBased) Next(s State) int {
 	reservoir := a.ReservoirS
-	if reservoir == 0 {
+	if reservoir <= 0 {
 		reservoir = 5
 	}
 	cushion := a.CushionS
-	if cushion == 0 {
+	if cushion <= 0 {
 		cushion = 20
 	}
 	if s.Startup || s.BufferS <= reservoir {

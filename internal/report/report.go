@@ -125,7 +125,7 @@ func (f *Figure) Render(w io.Writer) error {
 // FormatFloat renders a float compactly: integers without decimals, small
 // magnitudes with enough precision to be meaningful.
 func FormatFloat(v float64) string {
-	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 { //vqlint:ignore floatcmp exact integrality test, not a tolerance comparison
 		return strconv.FormatInt(int64(v), 10)
 	}
 	abs := v

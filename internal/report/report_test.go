@@ -1,6 +1,7 @@
 package report
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,51 @@ func TestFigureRender(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 6 { // title, header, sep, 3 points
 		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+// TestTableRenderDeterministic is the golden determinism check: a table
+// whose rows come from a map (emitted in sorted key order, the repository
+// convention enforced by vqlint's maporder rule) must render byte-for-byte
+// identically on every pass. Two independent builds from the same map are
+// rendered twice each and all four outputs compared.
+func TestTableRenderDeterministic(t *testing.T) {
+	src := map[string]float64{
+		"cdn-03":       0.0712,
+		"asn-17":       0.0555,
+		"site-a":       0.0123,
+		"conn-mobile":  0.1402,
+		"geo-eu-west":  0.0998,
+		"device-stick": 0.0417,
+	}
+	build := func() *Table {
+		tbl := &Table{Title: "Problem ratio by cluster", Columns: []string{"Cluster", "Ratio"}}
+		keys := make([]string, 0, len(src))
+		for k := range src {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			tbl.AddRow(k, src[k])
+		}
+		return tbl
+	}
+	render := func(tbl *Table) string {
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render(build())
+	for i := 0; i < 3; i++ {
+		if got := render(build()); got != first {
+			t.Fatalf("render %d differs from first:\n%q\nvs\n%q", i+2, got, first)
+		}
+	}
+	// Sorted emission also pins the row order itself, not just stability.
+	if a, b := strings.Index(first, "asn-17"), strings.Index(first, "site-a"); a == -1 || b == -1 || a > b {
+		t.Errorf("rows not in sorted key order:\n%s", first)
 	}
 }
 

@@ -62,25 +62,25 @@ func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 // NormFloat64 returns a standard normal variate (Box–Muller; one value per
 // call keeps the generator splittable without cached state).
 func (r *RNG) NormFloat64() float64 {
+	u := r.nonZero()
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// nonZero returns a uniform variate in (0, 1): the zero draw that would
+// blow up a log or division is redrawn, preserving the draw sequence of the
+// guard loops it replaces.
+func (r *RNG) nonZero() float64 {
 	for {
-		u := r.Float64()
-		if u == 0 {
-			continue
+		if u := r.Float64(); u > 0 {
+			return u
 		}
-		v := r.Float64()
-		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
 	}
 }
 
 // ExpFloat64 returns an exponential variate with mean 1.
 func (r *RNG) ExpFloat64() float64 {
-	for {
-		u := r.Float64()
-		if u == 0 {
-			continue
-		}
-		return -math.Log(u)
-	}
+	return -math.Log(r.nonZero())
 }
 
 // LogNormal returns a lognormal variate with the given parameters of the
@@ -92,13 +92,7 @@ func (r *RNG) LogNormal(mu, sigma float64) float64 {
 // Pareto returns a Pareto variate with scale xm > 0 and shape alpha > 0.
 // Heavy tails (small alpha) model the day-long problem events of paper §4.1.
 func (r *RNG) Pareto(xm, alpha float64) float64 {
-	for {
-		u := r.Float64()
-		if u == 0 {
-			continue
-		}
-		return xm / math.Pow(u, 1/alpha)
-	}
+	return xm / math.Pow(r.nonZero(), 1/alpha)
 }
 
 // Geometric returns the number of failures before the first success of a
@@ -110,13 +104,8 @@ func (r *RNG) Geometric(p float64) int {
 	if p <= 0 {
 		panic("stats: Geometric with non-positive p")
 	}
-	for {
-		u := r.Float64()
-		if u == 0 {
-			continue
-		}
-		return int(math.Floor(math.Log(u) / math.Log(1-p)))
-	}
+	u := r.nonZero()
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
 }
 
 // Poisson returns a Poisson variate with the given mean (Knuth's method;
@@ -141,7 +130,7 @@ func (r *RNG) Poisson(mean float64) int {
 func (r *RNG) Beta(a, b float64) float64 {
 	x := r.gamma(a)
 	y := r.gamma(b)
-	if x+y == 0 {
+	if x+y <= 0 {
 		return 0.5
 	}
 	return x / (x + y)
@@ -151,11 +140,7 @@ func (r *RNG) Beta(a, b float64) float64 {
 func (r *RNG) gamma(shape float64) float64 {
 	if shape < 1 {
 		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
-		u := r.Float64()
-		for u == 0 {
-			u = r.Float64()
-		}
-		return r.gamma(shape+1) * math.Pow(u, 1/shape)
+		return r.gamma(shape+1) * math.Pow(r.nonZero(), 1/shape)
 	}
 	d := shape - 1.0/3.0
 	c := 1 / math.Sqrt(9*d)
@@ -166,10 +151,7 @@ func (r *RNG) gamma(shape float64) float64 {
 			continue
 		}
 		v = v * v * v
-		u := r.Float64()
-		if u == 0 {
-			continue
-		}
+		u := r.nonZero()
 		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
 			return d * v
 		}

@@ -68,7 +68,7 @@ func WeightedChoice(r *RNG, weights []float64) int {
 			total += w
 		}
 	}
-	if total == 0 {
+	if total <= 0 {
 		return -1
 	}
 	u := r.Float64() * total

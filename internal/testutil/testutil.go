@@ -1,0 +1,42 @@
+// Package testutil holds small helpers shared by the repository's tests.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need, kept narrow so the
+// package stays importable from non-test code without dragging testing in.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckGoroutineLeaks snapshots the live goroutine count and returns a
+// function that, when called (normally via defer at the top of a test),
+// verifies the count has returned to the baseline. Goroutine exits are
+// asynchronous — a handler may still be unwinding after Close returns — so
+// the check retries for up to one second before declaring a leak.
+//
+//	defer testutil.CheckGoroutineLeaks(t)()
+func CheckGoroutineLeaks(tb TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			tb.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	}
+}

@@ -89,7 +89,7 @@ func (idx *Index) Save(path string) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(idx); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error is the one worth surfacing
 		return err
 	}
 	return f.Close()

@@ -120,7 +120,7 @@ func Create(path string, h Header) (*Writer, error) {
 	}
 	w, err := NewWriter(f, h, hasGzSuffix(path))
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the header error is the one worth surfacing
 		return nil, err
 	}
 	w.raw = f
@@ -248,7 +248,7 @@ func Open(path string) (*Reader, error) {
 	}
 	r, err := NewReader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the header error is the one worth surfacing
 		return nil, err
 	}
 	r.raw = f
@@ -327,7 +327,7 @@ func (r *Reader) Close() error {
 	if r.gz != nil {
 		if err := r.gz.Close(); err != nil {
 			if r.raw != nil {
-				r.raw.Close()
+				_ = r.raw.Close() // the gzip error takes precedence
 			}
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/core/eps"
 	"repro/internal/metric"
 )
 
@@ -58,7 +59,7 @@ func (c CostModel) Validate() error {
 			return fmt.Errorf("whatif: negative cost component %v", v)
 		}
 	}
-	if c.SiteFixed+c.CDNFixed+c.ASNFixed+c.OtherFixed+c.PerSession == 0 {
+	if eps.Zero(c.SiteFixed + c.CDNFixed + c.ASNFixed + c.OtherFixed + c.PerSession) {
 		return fmt.Errorf("whatif: zero cost model")
 	}
 	return nil
@@ -133,14 +134,21 @@ func CostBenefit(tr *core.TraceResult, m metric.Metric, model CostModel, budgetF
 	for i := range tr.Epochs {
 		totalProblems += float64(tr.Epochs[i].Metrics[m].GlobalProblems)
 	}
-	// Benefit of fixing key k everywhere it is critical.
+	// Benefit of fixing key k everywhere it is critical. Keys are visited
+	// in sorted order so the candidate list and the totalCost sum are
+	// reproducible across runs.
+	criticalKeys := make([]attr.Key, 0, len(h.Critical))
 	for k := range h.Critical {
+		criticalKeys = append(criticalKeys, k)
+	}
+	sort.Slice(criticalKeys, func(i, j int) bool { return analysis.KeyLess(criticalKeys[i], criticalKeys[j]) })
+	for _, k := range criticalKeys {
 		o := FixKeys(tr, m, map[attr.Key]bool{k: true}, tr.Trace)
 		cost := model.Cost(k, h.Critical[k].TotalSessions)
 		cands = append(cands, cand{key: k, benefit: o.Alleviated, cost: cost})
 		totalCost += cost
 	}
-	if totalProblems == 0 || totalCost == 0 {
+	if eps.Zero(totalProblems) || eps.Zero(totalCost) {
 		return res, fmt.Errorf("whatif: empty trace for cost-benefit")
 	}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/core/eps"
 	"repro/internal/epoch"
 	"repro/internal/metric"
 )
@@ -54,7 +55,7 @@ type Outcome struct {
 
 // Fraction returns Alleviated / TotalProblems (0 when empty).
 func (o Outcome) Fraction() float64 {
-	if o.TotalProblems == 0 {
+	if eps.Zero(o.TotalProblems) {
 		return 0
 	}
 	return o.Alleviated / o.TotalProblems

@@ -1,0 +1,15 @@
+#!/bin/sh
+# verify.sh — the repository's full correctness gate, run locally and in CI.
+#
+#   1. go build      — everything compiles
+#   2. go vet        — the toolchain's own static checks
+#   3. vqlint        — the repo-specific analyzers (float equality, map-order
+#                      determinism, lock copying/holding, goroutine shutdown,
+#                      dropped errors); non-zero exit on any finding
+#   4. go test -race — the full suite under the race detector
+set -eux
+
+go build ./...
+go vet ./...
+go run ./cmd/vqlint ./...
+go test -race ./...
