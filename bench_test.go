@@ -184,15 +184,15 @@ func BenchmarkFig12_AttrRestricted(b *testing.B) {
 func BenchmarkFig13_Reactive(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
-	var new float64
+	var reactive float64
 	for i := 0; i < b.N; i++ {
 		res, err := s.Fig13(io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
-		new = res.New
+		reactive = res.New
 	}
-	b.ReportMetric(new, "joinfail_reactive_alleviated")
+	b.ReportMetric(reactive, "joinfail_reactive_alleviated")
 }
 
 // --- One benchmark per paper table -----------------------------------------
@@ -366,12 +366,14 @@ func BenchmarkClusterTable(b *testing.B) {
 	for i := range batch {
 		lites[i] = cluster.Digest(&batch[i], coreCfg.Thresholds)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tbl := cluster.NewTable(10, lites, 0)
-		if len(tbl.ByKey) == 0 {
+		if tbl.Len() == 0 {
 			b.Fatal("empty table")
 		}
+		tbl.Release()
 	}
 }
 
@@ -386,6 +388,7 @@ func BenchmarkCriticalDetect(b *testing.B) {
 	for i := range batch {
 		lites[i] = cluster.Digest(&batch[i], coreCfg.Thresholds)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.AnalyzeEpoch(10, lites, coreCfg); err != nil {
@@ -405,6 +408,7 @@ func BenchmarkHHHDetect(b *testing.B) {
 	for i := range batch {
 		lites[i] = cluster.Digest(&batch[i], coreCfg.Thresholds)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hhh.Detect(lites, metric.BufRatio, hhh.DefaultConfig()); err != nil {
@@ -422,6 +426,7 @@ func BenchmarkSessionBinaryCodec(b *testing.B) {
 	}
 	var buf []byte
 	var out session.Session
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = session.AppendBinary(buf[:0], &s)
@@ -439,6 +444,7 @@ func BenchmarkHeartbeatProtocol(b *testing.B) {
 	}
 	var buf []byte
 	var out heartbeat.Message
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error

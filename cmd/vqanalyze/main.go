@@ -28,6 +28,7 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/epoch"
 	"repro/internal/metric"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/session"
 	"repro/internal/trace"
@@ -118,12 +119,24 @@ func main() {
 		minSess    = flag.Int("min-sessions", 0, "override the cluster size floor (0 = scale from volume)")
 		drill      = flag.String("drill", "", "diagnose this cluster (e.g. \"CDN=cdn-03\"); requires -metric and -epoch")
 		drillEpoch = flag.Int("epoch", 0, "epoch for -drill")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	r, err := trace.Open(*path)
 	if err != nil {

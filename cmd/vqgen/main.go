@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/epoch"
+	"repro/internal/prof"
 	"repro/internal/session"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -34,8 +35,20 @@ func main() {
 		asJSONL  = flag.Bool("jsonl", false, "write JSON lines instead of the binary container")
 		index    = flag.Bool("index", false, "also write an epoch index (<out>.idx) for random access; uncompressed binary traces only")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopCPU, err := prof.StartCPU(*cpuprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memprof); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := synth.DefaultConfig()
 	cfg.Seed = *seed

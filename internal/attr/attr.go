@@ -209,6 +209,20 @@ func NewKey(pairs map[Dim]int32) Key {
 // Size returns the number of fixed dimensions.
 func (k Key) Size() int { return k.Mask.Size() }
 
+// Less orders keys by mask then values — the canonical ordering every
+// deterministic report and attribution pass sorts by.
+func (k Key) Less(other Key) bool {
+	if k.Mask != other.Mask {
+		return k.Mask < other.Mask
+	}
+	for d := Dim(0); d < NumDims; d++ {
+		if k.Vals[d] != other.Vals[d] {
+			return k.Vals[d] < other.Vals[d]
+		}
+	}
+	return false
+}
+
 // Matches reports whether session attribute vector v agrees with the key on
 // every fixed dimension.
 func (k Key) Matches(v Vector) bool {

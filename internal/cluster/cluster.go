@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/attr"
+	"repro/internal/core/cktable"
 	"repro/internal/core/eps"
 	"repro/internal/epoch"
 	"repro/internal/metric"
@@ -49,83 +50,59 @@ func Digest(s *session.Session, t metric.Thresholds) Lite {
 }
 
 // Counts aggregates one cluster's sessions across all four metrics in a
-// single pass.
-type Counts struct {
-	// Total is the number of sessions in the cluster.
-	Total int32
-	// Failed is the number of join-failed sessions (these do not define
-	// the continuous metrics).
-	Failed int32
-	// Problems counts problem sessions per metric.
-	Problems [metric.NumMetrics]int32
-}
-
-// Sessions returns the number of sessions for which metric m is defined.
-func (c Counts) Sessions(m metric.Metric) int32 {
-	if m == metric.JoinFailure {
-		return c.Total
-	}
-	return c.Total - c.Failed
-}
-
-// Ratio returns the problem ratio for metric m (0 when empty).
-func (c Counts) Ratio(m metric.Metric) float64 {
-	n := c.Sessions(m)
-	if n == 0 {
-		return 0
-	}
-	return float64(c.Problems[m]) / float64(n)
-}
+// single pass. It is an alias of the aggregation engine's count cell, so
+// the engine and its consumers share one representation.
+type Counts = cktable.Counts
 
 // Table is the cluster count table of one epoch: every attribute-subset
-// cluster with at least one session, plus the root.
+// cluster with at least one session, plus the root. Counts live in an
+// open-addressing cktable rather than a Go map; read them through Get,
+// Len, and ForEach. Tables built by NewTable draw their storage from a
+// pool — call Release when done with one to make the next epoch's build
+// allocation-free (skipping Release is safe, merely slower).
 type Table struct {
 	Epoch epoch.Index
 	// Root aggregates the whole epoch.
 	Root Counts
-	// ByKey maps cluster keys (all 127 masks) to their counts.
-	ByKey map[attr.Key]Counts
 	// Sessions retains the per-session digests for coverage passes.
 	Sessions []Lite
 	// MaxDims limits the enumerated subset sizes (NumDims by default).
 	MaxDims int
+
+	ck *cktable.Table
 }
 
 // NewTable builds the count table for one epoch of sessions. maxDims <= 0
-// enumerates all seven dimensions (the paper's full hierarchy).
+// enumerates all seven dimensions (the paper's full hierarchy). Storage is
+// sized by the engine's keys-per-session heuristic (see cktable.Acquire) —
+// cluster cardinality scales with sessions × enumerated masks, not with
+// sessions alone.
 func NewTable(e epoch.Index, sessions []Lite, maxDims int) *Table {
 	if maxDims <= 0 || maxDims > attr.NumDims {
 		maxDims = attr.NumDims
 	}
-	masks := attr.MasksUpTo(maxDims)
 	t := &Table{
 		Epoch:    e,
-		ByKey:    make(map[attr.Key]Counts, len(sessions)*2),
 		Sessions: sessions,
 		MaxDims:  maxDims,
+		ck:       cktable.Acquire(len(sessions), maxDims),
 	}
 	for i := range sessions {
 		l := &sessions[i]
-		t.Root = accumulate(t.Root, l)
-		for _, m := range masks {
-			k := attr.KeyOf(l.Attrs, m)
-			t.ByKey[k] = accumulate(t.ByKey[k], l)
-		}
+		t.Root.Add(l.Bits, l.Failed)
+		t.ck.AddSession(l.Attrs, l.Bits, l.Failed)
 	}
 	return t
 }
 
-func accumulate(c Counts, l *Lite) Counts {
-	c.Total++
-	if l.Failed {
-		c.Failed++
+// Release returns the table's storage to the engine pool. The table (and
+// any View built over it) must not be used afterwards.
+func (t *Table) Release() {
+	if t.ck != nil {
+		t.ck.Release()
+		t.ck = nil
 	}
-	for m := 0; m < metric.NumMetrics; m++ {
-		if l.Bits&(1<<m) != 0 {
-			c.Problems[m]++
-		}
-	}
-	return c
+	t.Sessions = nil
 }
 
 // Get returns the counts of key k; the root key returns Root.
@@ -133,8 +110,16 @@ func (t *Table) Get(k attr.Key) Counts {
 	if k.Mask == 0 {
 		return t.Root
 	}
-	return t.ByKey[k]
+	c, _ := t.ck.Get(k)
+	return c
 }
+
+// Len returns the number of distinct non-root cluster keys.
+func (t *Table) Len() int { return t.ck.Len() }
+
+// ForEach calls fn for every non-root (key, counts) pair, in a
+// deterministic but unsorted order (see cktable.Table.ForEach).
+func (t *Table) ForEach(fn func(k attr.Key, c Counts)) { t.ck.ForEach(fn) }
 
 // View is the problem-cluster view of one (epoch, metric) pair.
 type View struct {
@@ -178,11 +163,11 @@ func BuildView(t *Table, m metric.Metric, th metric.Thresholds) (*View, error) {
 	if eps.Zero(v.GlobalRatio) {
 		return v, nil
 	}
-	for k, c := range t.ByKey {
+	t.ForEach(func(k attr.Key, c Counts) {
 		if v.IsProblem(c) {
 			v.Problem[k] = c
 		}
-	}
+	})
 	return v, nil
 }
 

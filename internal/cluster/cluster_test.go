@@ -122,14 +122,14 @@ func TestTableMaxDims(t *testing.T) {
 	if tbl.MaxDims != 2 {
 		t.Errorf("MaxDims = %d", tbl.MaxDims)
 	}
-	for k := range tbl.ByKey {
+	tbl.ForEach(func(k attr.Key, _ Counts) {
 		if k.Size() > 2 {
 			t.Fatalf("key %v exceeds MaxDims", k)
 		}
-	}
+	})
 	// 7 single masks + 21 pair masks, all with the same constant vector.
-	if len(tbl.ByKey) != 28 {
-		t.Errorf("distinct keys = %d, want 28", len(tbl.ByKey))
+	if tbl.Len() != 28 {
+		t.Errorf("distinct keys = %d, want 28", tbl.Len())
 	}
 }
 

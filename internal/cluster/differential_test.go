@@ -1,0 +1,525 @@
+// Differential harness for the cktable aggregation engine: the old
+// map-based accumulation path survives here as a test-only reference
+// implementation, and randomized trials assert that the engine-backed
+// production path produces identical cluster counts, identical problem-
+// cluster sets, identical critical-cluster sets, and bit-for-bit identical
+// attribution tallies for every metric. The reference detector mirrors the
+// production detector's accumulation order exactly, so any float divergence
+// is an engine bug, not reordering noise.
+package cluster_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/core/eps"
+	"repro/internal/critical"
+	"repro/internal/metric"
+)
+
+// refTable is the pre-engine representation: one Go map entry per cluster
+// key, accumulated with attr.MasksUpTo + attr.KeyOf per session.
+type refTable struct {
+	root  cluster.Counts
+	cells map[attr.Key]cluster.Counts
+}
+
+func buildRefTable(sessions []cluster.Lite, maxDims int) *refTable {
+	if maxDims <= 0 || maxDims > attr.NumDims {
+		maxDims = attr.NumDims
+	}
+	masks := attr.MasksUpTo(maxDims)
+	rt := &refTable{cells: make(map[attr.Key]cluster.Counts)}
+	for i := range sessions {
+		l := &sessions[i]
+		rt.root.Add(l.Bits, l.Failed)
+		for _, m := range masks {
+			k := attr.KeyOf(l.Attrs, m)
+			c := rt.cells[k]
+			c.Add(l.Bits, l.Failed)
+			rt.cells[k] = c
+		}
+	}
+	return rt
+}
+
+func (rt *refTable) get(k attr.Key) cluster.Counts {
+	if k.Mask == 0 {
+		return rt.root
+	}
+	return rt.cells[k]
+}
+
+// refView derives the problem-cluster view of one metric from the
+// reference table, replicating BuildView's threshold derivation.
+func refView(rt *refTable, m metric.Metric, th metric.Thresholds) *cluster.View {
+	v := &cluster.View{
+		Metric:         m,
+		GlobalSessions: rt.root.Sessions(m),
+		GlobalProblems: rt.root.Problems[m],
+		GlobalRatio:    rt.root.Ratio(m),
+		MinSessions:    int32(th.MinClusterSessions),
+		MinZScore:      th.MinZScore,
+		Problem:        make(map[attr.Key]cluster.Counts),
+	}
+	v.Threshold = th.ProblemRatioFactor * v.GlobalRatio
+	if eps.Zero(v.GlobalRatio) {
+		return v
+	}
+	for k, c := range rt.cells {
+		if v.IsProblem(c) {
+			v.Problem[k] = c
+		}
+	}
+	return v
+}
+
+// refCluster mirrors critical.Cluster's tallies.
+type refCluster struct {
+	counts             cluster.Counts
+	attributedProblems float64
+	attributedSessions float64
+	problemClusters    float64
+}
+
+type refAgg struct{ sig, prob int64 }
+
+// refDetect reimplements the critical-cluster detector over the reference
+// map, preserving every accumulation order the production code uses so the
+// fractional tallies agree exactly.
+func refDetect(rt *refTable, sessions []cluster.Lite, v *cluster.View, opts critical.Options) (map[attr.Key]*refCluster, int32) {
+	m := v.Metric
+
+	// Significant-children stats per candidate and added dimension.
+	stats := make(map[attr.Key]*[attr.NumDims]refAgg)
+	for k := range v.Problem {
+		stats[k] = new([attr.NumDims]refAgg)
+	}
+	for k, c := range rt.cells {
+		n := c.Sessions(m)
+		if n < v.MinSessions {
+			continue
+		}
+		problem := v.IsProblemRatioOnly(c)
+		for _, d := range k.Mask.Dims() {
+			agg, ok := stats[k.Parent(d)]
+			if !ok {
+				continue
+			}
+			agg[d].sig += int64(n)
+			if problem {
+				agg[d].prob += int64(n)
+			}
+		}
+	}
+
+	passesUp := func(k attr.Key, c cluster.Counts) bool {
+		for _, p := range k.Parents() {
+			if p.Mask == 0 {
+				continue
+			}
+			pc := rt.get(p)
+			if !v.IsProblem(pc) {
+				continue
+			}
+			if !v.IsProblemCounts(pc.Sessions(m)-c.Sessions(m), pc.Problems[m]-c.Problems[m]) {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	passesDown := func(k attr.Key) bool {
+		agg := stats[k]
+		for d := attr.Dim(0); d < attr.NumDims; d++ {
+			if k.Mask.Has(d) {
+				continue
+			}
+			a := agg[d]
+			if a.sig == 0 {
+				continue
+			}
+			if float64(a.prob)/float64(a.sig) < opts.ChildProblemFraction {
+				return false
+			}
+		}
+		return true
+	}
+
+	crit := make(map[attr.Key]*refCluster)
+	for k, c := range v.Problem {
+		if passesUp(k, c) && passesDown(k) {
+			crit[k] = &refCluster{counts: c}
+		}
+	}
+
+	// Dedupe correlated refinements: finest first, drop near-duplicates of
+	// critical ancestors.
+	keys := make([]attr.Key, 0, len(crit))
+	for k := range crit {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := keys[i].Mask.Size(), keys[j].Mask.Size()
+		if si != sj {
+			return si > sj
+		}
+		return keys[i].Less(keys[j])
+	})
+	for _, k := range keys {
+		c, ok := crit[k]
+		if !ok {
+			continue
+		}
+		for _, sub := range k.SubKeys() {
+			if sub == k {
+				continue
+			}
+			anc, ok := crit[sub]
+			if !ok {
+				continue
+			}
+			ancN := anc.counts.Sessions(m)
+			if ancN > 0 && float64(c.counts.Sessions(m)) >= opts.DedupeOverlap*float64(ancN) {
+				delete(crit, k)
+				break
+			}
+		}
+	}
+
+	// Problem-cluster attribution, sorted key order for bit-identical sums.
+	problemKeys := make([]attr.Key, 0, len(v.Problem))
+	for k := range v.Problem {
+		problemKeys = append(problemKeys, k)
+	}
+	sort.Slice(problemKeys, func(i, j int) bool { return problemKeys[i].Less(problemKeys[j]) })
+	for _, k := range problemKeys {
+		var nearest []attr.Key
+		bestSize := -1
+		for _, sub := range k.SubKeys() {
+			if _, ok := crit[sub]; !ok {
+				continue
+			}
+			size := sub.Mask.Size()
+			switch {
+			case size > bestSize:
+				bestSize = size
+				nearest = append(nearest[:0], sub)
+			case size == bestSize:
+				nearest = append(nearest, sub)
+			}
+		}
+		if len(nearest) == 0 {
+			for ck := range crit {
+				if ck != k && k.Subsumes(ck) {
+					nearest = append(nearest, ck)
+				}
+			}
+			sort.Slice(nearest, func(i, j int) bool { return nearest[i].Less(nearest[j]) })
+		}
+		if len(nearest) == 0 {
+			continue
+		}
+		share := 1 / float64(len(nearest))
+		for _, ck := range nearest {
+			crit[ck].problemClusters += share
+		}
+	}
+
+	// Session attribution in trace order, masks sorted.
+	maskSeen := make(map[attr.Mask]bool)
+	var masks []attr.Mask
+	for k := range crit {
+		if !maskSeen[k.Mask] {
+			maskSeen[k.Mask] = true
+			masks = append(masks, k.Mask)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	var covered int32
+	var buf []attr.Key
+	for i := range sessions {
+		l := &sessions[i]
+		if !l.Defined(m) {
+			continue
+		}
+		buf = buf[:0]
+		bestSize := -1
+		for _, mk := range masks {
+			key := attr.KeyOf(l.Attrs, mk)
+			if _, ok := crit[key]; !ok {
+				continue
+			}
+			size := mk.Size()
+			switch {
+			case size > bestSize:
+				bestSize = size
+				buf = append(buf[:0], key)
+			case size == bestSize:
+				buf = append(buf, key)
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		problem := l.Problem(m)
+		if problem {
+			covered++
+		}
+		share := 1 / float64(len(buf))
+		for _, key := range buf {
+			cc := crit[key]
+			cc.attributedSessions += share
+			if problem {
+				cc.attributedProblems += share
+			}
+		}
+	}
+	return crit, covered
+}
+
+// genLites produces a reproducible random epoch: small attribute
+// cardinalities force heavy cell sharing (dense hash-table collisions), a
+// failure rate exercises the failed/continuous split, and per-metric
+// problem rates vary by cell so problem and critical clusters emerge.
+func genLites(rng *rand.Rand, n int, card int32) []cluster.Lite {
+	lites := make([]cluster.Lite, 0, n)
+	for i := 0; i < n; i++ {
+		var l cluster.Lite
+		for d := attr.Dim(0); d < attr.NumDims; d++ {
+			l.Attrs[d] = rng.Int31n(card)
+		}
+		if rng.Float64() < 0.05 {
+			l.Failed = true
+			l.Bits = 1 << metric.JoinFailure
+		} else {
+			// Concentrate problems in low-valued cells so some clusters sit
+			// far above the global ratio.
+			hot := l.Attrs[attr.CDN] == 0 && l.Attrs[attr.ASN] == 0
+			for _, m := range []metric.Metric{metric.BufRatio, metric.Bitrate, metric.JoinTime} {
+				p := 0.05
+				if hot {
+					p = 0.6
+				}
+				if rng.Float64() < p {
+					l.Bits |= 1 << m
+				}
+			}
+		}
+		lites = append(lites, l)
+	}
+	return lites
+}
+
+// TestDifferentialEngineVsMap is the main differential property test: for
+// randomized epochs across several shapes, the cktable-backed production
+// pipeline must agree with the map-based reference on every observable.
+func TestDifferentialEngineVsMap(t *testing.T) {
+	trials := []struct {
+		seed     int64
+		sessions int
+		card     int32
+		maxDims  int
+		minSess  int
+	}{
+		{seed: 1, sessions: 600, card: 3, maxDims: 0, minSess: 20},
+		{seed: 2, sessions: 400, card: 2, maxDims: 0, minSess: 10},
+		{seed: 3, sessions: 800, card: 4, maxDims: 3, minSess: 25},
+		{seed: 4, sessions: 300, card: 6, maxDims: 2, minSess: 15},
+		{seed: 5, sessions: 1000, card: 3, maxDims: 5, minSess: 50},
+		{seed: 6, sessions: 50, card: 8, maxDims: 0, minSess: 10}, // sparse: most cells singletons
+	}
+	for _, tr := range trials {
+		rng := rand.New(rand.NewSource(tr.seed))
+		lites := genLites(rng, tr.sessions, tr.card)
+		th := metric.Default()
+		th.MinClusterSessions = tr.minSess
+
+		rt := buildRefTable(lites, tr.maxDims)
+		tbl := cluster.NewTable(7, lites, tr.maxDims)
+
+		// Table equivalence: root, cardinality, every cell both ways.
+		if tbl.Root != rt.root {
+			t.Fatalf("trial %d: root %+v != ref %+v", tr.seed, tbl.Root, rt.root)
+		}
+		if tbl.Len() != len(rt.cells) {
+			t.Fatalf("trial %d: Len %d != ref %d", tr.seed, tbl.Len(), len(rt.cells))
+		}
+		tbl.ForEach(func(k attr.Key, c cluster.Counts) {
+			if rc, ok := rt.cells[k]; !ok || rc != c {
+				t.Fatalf("trial %d: key %v engine %+v ref %+v (present %v)", tr.seed, k, c, rt.cells[k], ok)
+			}
+		})
+		for k, rc := range rt.cells {
+			if got := tbl.Get(k); got != rc {
+				t.Fatalf("trial %d: Get(%v) = %+v, ref %+v", tr.seed, k, got, rc)
+			}
+		}
+		// Probing for absent keys must miss cleanly.
+		miss := attr.NewKey(map[attr.Dim]int32{attr.CDN: tr.card + 17})
+		if got := tbl.Get(miss); got != (cluster.Counts{}) {
+			t.Fatalf("trial %d: Get(absent) = %+v", tr.seed, got)
+		}
+
+		for _, m := range metric.All() {
+			pv, err := cluster.BuildView(tbl, m, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rv := refView(rt, m, th)
+			if pv.GlobalSessions != rv.GlobalSessions || pv.GlobalProblems != rv.GlobalProblems ||
+				pv.GlobalRatio != rv.GlobalRatio || pv.Threshold != rv.Threshold {
+				t.Fatalf("trial %d %v: globals %+v vs ref %+v", tr.seed, m, pv, rv)
+			}
+			if !reflect.DeepEqual(pv.Problem, rv.Problem) {
+				t.Fatalf("trial %d %v: problem sets differ: %d vs %d keys",
+					tr.seed, m, len(pv.Problem), len(rv.Problem))
+			}
+			if got, want := pv.ProblemSessionsInClusters(), refProblemCoverage(lites, rv); got != want {
+				t.Fatalf("trial %d %v: problem coverage %d != ref %d", tr.seed, m, got, want)
+			}
+
+			opts := critical.DefaultOptions()
+			det := critical.DetectOpts(pv, opts)
+			refCrit, refCovered := refDetect(rt, lites, rv, opts)
+			if len(det.Critical) != len(refCrit) {
+				t.Fatalf("trial %d %v: critical sets differ: %d vs %d",
+					tr.seed, m, len(det.Critical), len(refCrit))
+			}
+			for k, cc := range det.Critical {
+				rc, ok := refCrit[k]
+				if !ok {
+					t.Fatalf("trial %d %v: engine-only critical key %v", tr.seed, m, k)
+				}
+				if cc.Counts != rc.counts {
+					t.Fatalf("trial %d %v: critical %v counts %+v vs ref %+v", tr.seed, m, k, cc.Counts, rc.counts)
+				}
+				// Bit-for-bit: same accumulation order in both detectors.
+				if cc.AttributedProblems != rc.attributedProblems ||
+					cc.AttributedSessions != rc.attributedSessions ||
+					cc.ProblemClusters != rc.problemClusters {
+					t.Fatalf("trial %d %v: critical %v tallies (%v,%v,%v) vs ref (%v,%v,%v)",
+						tr.seed, m, k,
+						cc.AttributedProblems, cc.AttributedSessions, cc.ProblemClusters,
+						rc.attributedProblems, rc.attributedSessions, rc.problemClusters)
+				}
+			}
+			if det.CoveredProblems != refCovered {
+				t.Fatalf("trial %d %v: covered %d vs ref %d", tr.seed, m, det.CoveredProblems, refCovered)
+			}
+		}
+		tbl.Release()
+	}
+}
+
+// refProblemCoverage mirrors View.ProblemSessionsInClusters over the
+// reference problem set.
+func refProblemCoverage(sessions []cluster.Lite, v *cluster.View) int32 {
+	if len(v.Problem) == 0 {
+		return 0
+	}
+	seen := make(map[attr.Mask]bool)
+	var masks []attr.Mask
+	for k := range v.Problem {
+		if !seen[k.Mask] {
+			seen[k.Mask] = true
+			masks = append(masks, k.Mask)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	var covered int32
+	for i := range sessions {
+		l := &sessions[i]
+		if !l.Defined(v.Metric) || !l.Problem(v.Metric) {
+			continue
+		}
+		for _, mk := range masks {
+			if _, ok := v.Problem[attr.KeyOf(l.Attrs, mk)]; ok {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// TestAnalyzeEpochPooledReuse runs the full epoch pipeline repeatedly over
+// the same input: the pooled tables and scratch buffers must not leak state
+// between runs, so every result is deeply equal to the first.
+func TestAnalyzeEpochPooledReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lites := genLites(rng, 700, 3)
+	cfg := core.DefaultConfig(len(lites))
+	cfg.Thresholds.MinClusterSessions = 20
+	cfg.KeepProblemKeys = true
+	first, err := core.AnalyzeEpoch(5, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		again, err := core.AnalyzeEpoch(5, lites, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs from first after pooled reuse", i+2)
+		}
+	}
+	// Mix in a differently-shaped epoch between reruns: the pool hands back
+	// dirtied, grown tables that must still produce identical results.
+	big := genLites(rng, 2000, 5)
+	if _, err := core.AnalyzeEpoch(6, big, cfg); err != nil {
+		t.Fatal(err)
+	}
+	again, err := core.AnalyzeEpoch(5, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("result differs after interleaving a larger epoch")
+	}
+}
+
+// FuzzTableVsMap fuzzes the engine against the map reference with
+// byte-string-derived session sets, catching hash or probing edge cases the
+// fixed trials miss.
+func FuzzTableVsMap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 9, 9, 9, 1, 2}, uint8(3))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, maxDims uint8) {
+		var lites []cluster.Lite
+		for i := 0; i+7 < len(data); i += 8 {
+			var l cluster.Lite
+			for d := 0; d < attr.NumDims; d++ {
+				l.Attrs[d] = int32(data[i+d] % 5)
+			}
+			ctl := data[i+7]
+			l.Bits = ctl & 0x0f
+			if ctl&0x10 != 0 {
+				l.Failed = true
+			}
+			lites = append(lites, l)
+		}
+		if len(lites) == 0 {
+			return
+		}
+		md := int(maxDims % (attr.NumDims + 1))
+		rt := buildRefTable(lites, md)
+		tbl := cluster.NewTable(0, lites, md)
+		defer tbl.Release()
+		if tbl.Root != rt.root || tbl.Len() != len(rt.cells) {
+			t.Fatalf("root/len mismatch: %+v/%d vs %+v/%d", tbl.Root, tbl.Len(), rt.root, len(rt.cells))
+		}
+		tbl.ForEach(func(k attr.Key, c cluster.Counts) {
+			if rc, ok := rt.cells[k]; !ok || rc != c {
+				t.Fatalf("key %v: engine %+v ref %+v (present %v)", k, c, rt.cells[k], ok)
+			}
+		})
+	})
+}

@@ -1,0 +1,170 @@
+package cktable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/metric"
+)
+
+// refAdd is the straightforward map-based accumulation AddSession replaces.
+func refAdd(ref map[attr.Key]Counts, v attr.Vector, flags uint8, failed bool, maxDims int) {
+	for _, m := range attr.MasksUpTo(maxDims) {
+		k := attr.KeyOf(v, m)
+		c := ref[k]
+		c.Add(flags, failed)
+		ref[k] = c
+	}
+}
+
+func randVector(rng *rand.Rand) attr.Vector {
+	var v attr.Vector
+	for d := range v {
+		v[d] = int32(rng.Intn(4))
+	}
+	return v
+}
+
+// TestPlanCoversMasksUpTo: the Gray-code plan visits exactly the masks of
+// attr.MasksUpTo, each once, with diffs that chain from the empty mask.
+func TestPlanCoversMasksUpTo(t *testing.T) {
+	for maxDims := 1; maxDims <= attr.NumDims; maxDims++ {
+		steps := planFor(maxDims)
+		want := attr.MasksUpTo(maxDims)
+		if len(steps) != len(want) {
+			t.Fatalf("maxDims=%d: %d steps, want %d", maxDims, len(steps), len(want))
+		}
+		seen := make(map[attr.Mask]bool)
+		prev := attr.Mask(0)
+		for _, st := range steps {
+			if st.mask == 0 || st.mask.Size() > maxDims {
+				t.Fatalf("maxDims=%d: bad mask %v", maxDims, st.mask)
+			}
+			if seen[st.mask] {
+				t.Fatalf("maxDims=%d: mask %v visited twice", maxDims, st.mask)
+			}
+			seen[st.mask] = true
+			if prev^st.diff != st.mask {
+				t.Fatalf("maxDims=%d: diff %v does not chain %v -> %v", maxDims, st.diff, prev, st.mask)
+			}
+			prev = st.mask
+		}
+	}
+}
+
+// TestIncrementalHashMatchesKeyHash: the walk's derived hashes equal the
+// from-scratch KeyHash for every mask.
+func TestIncrementalHashMatchesKeyHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		v := randVector(rng)
+		var h Hasher
+		h.Reset(v)
+		var acc uint64
+		prev := attr.Mask(0)
+		for _, st := range planFor(attr.NumDims) {
+			diff := st.mask ^ prev
+			for d := attr.Dim(0); d < attr.NumDims; d++ {
+				if diff.Has(d) {
+					acc ^= h.dim[d]
+				}
+			}
+			prev = st.mask
+			got := mix64(acc ^ maskSalt[st.mask])
+			if want := KeyHash(attr.KeyOf(v, st.mask)); got != want {
+				t.Fatalf("hash mismatch for mask %v", st.mask)
+			}
+		}
+	}
+}
+
+// TestTableMatchesMap: random sessions aggregated through the table and a
+// reference map agree on every key, including misses.
+func TestTableMatchesMap(t *testing.T) {
+	for _, maxDims := range []int{1, 2, 3, attr.NumDims} {
+		rng := rand.New(rand.NewSource(int64(maxDims)))
+		tbl := Acquire(0, maxDims)
+		ref := make(map[attr.Key]Counts)
+		for i := 0; i < 400; i++ {
+			v := randVector(rng)
+			flags := uint8(rng.Intn(16))
+			failed := flags&(1<<metric.JoinFailure) != 0
+			tbl.AddSession(v, flags, failed)
+			refAdd(ref, v, flags, failed, maxDims)
+		}
+		if tbl.Len() != len(ref) {
+			t.Fatalf("maxDims=%d: Len=%d, want %d", maxDims, tbl.Len(), len(ref))
+		}
+		tbl.ForEach(func(k attr.Key, c Counts) {
+			if ref[k] != c {
+				t.Errorf("maxDims=%d: key %v counts %+v, want %+v", maxDims, k, c, ref[k])
+			}
+		})
+		for k, want := range ref {
+			if got, ok := tbl.Get(k); !ok || got != want {
+				t.Errorf("maxDims=%d: Get(%v) = %+v/%v, want %+v", maxDims, k, got, ok, want)
+			}
+		}
+		if _, ok := tbl.Get(attr.KeyOf(attr.Vector{9, 9, 9, 9, 9, 9, 9}, attr.AllDims)); ok {
+			t.Error("absent key reported present")
+		}
+		tbl.Release()
+	}
+}
+
+// TestTableGrowth forces repeated doubling and checks nothing is lost.
+func TestTableGrowth(t *testing.T) {
+	tbl := Acquire(0, attr.NumDims)
+	start := len(tbl.slots)
+	ref := make(map[attr.Key]Counts)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		var v attr.Vector
+		for d := range v {
+			v[d] = rng.Int31() // near-unique vectors: ~127 fresh keys each
+		}
+		tbl.AddSession(v, 1, false)
+		refAdd(ref, v, 1, false, attr.NumDims)
+	}
+	if len(tbl.slots) <= start {
+		t.Fatalf("table never grew (cap %d, used %d)", len(tbl.slots), tbl.used)
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("Len=%d, want %d", tbl.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := tbl.Get(k); !ok || got != want {
+			t.Fatalf("lost key %v after growth", k)
+		}
+	}
+	tbl.Release()
+}
+
+// TestPoolReuseIsClean: a released table comes back empty.
+func TestPoolReuseIsClean(t *testing.T) {
+	tbl := Acquire(10, attr.NumDims)
+	tbl.AddSession(attr.Vector{1, 2, 3, 4, 5, 6, 7}, 3, false)
+	tbl.Release()
+	reused := Acquire(10, attr.NumDims)
+	defer reused.Release()
+	if reused.Len() != 0 {
+		t.Fatalf("pooled table not cleared: Len=%d", reused.Len())
+	}
+	if _, ok := reused.Get(attr.KeyOf(attr.Vector{1, 2, 3, 4, 5, 6, 7}, attr.AllDims)); ok {
+		t.Fatal("stale key visible after Release")
+	}
+}
+
+func TestUpsertAgreesWithAddSession(t *testing.T) {
+	tbl := Acquire(0, attr.NumDims)
+	defer tbl.Release()
+	v := attr.Vector{1, 0, 2, 0, 1, 0, 3}
+	tbl.AddSession(v, 1, false)
+	k := attr.KeyOf(v, attr.MaskOf(attr.ASN, attr.Site))
+	tbl.Upsert(k).Add(2, false)
+	got, ok := tbl.Get(k)
+	if !ok || got.Total != 2 || got.Problems[0] != 1 || got.Problems[1] != 1 {
+		t.Fatalf("Upsert/AddSession disagree: %+v ok=%v", got, ok)
+	}
+}

@@ -1,0 +1,52 @@
+package cktable
+
+import (
+	"math/bits"
+
+	"repro/internal/attr"
+)
+
+// step is one stop of the per-session mask walk: the mask to aggregate
+// under and the dimensions that changed relative to the previous step.
+type step struct {
+	mask attr.Mask
+	// diff is mask ^ previous-step-mask: the dimensions whose value (and
+	// dimension hash) must be toggled in the walker's partial state.
+	diff attr.Mask
+}
+
+// plans[maxDims] enumerates every non-empty mask of at most maxDims
+// dimensions in binary-reflected Gray-code order, so consecutive masks
+// differ in one bit; filtering oversized masks out of the sequence widens
+// some diffs to a few bits, but the walk stays far cheaper than the
+// seven-dimension re-projection attr.KeyOf performs per mask. The set of
+// masks visited is exactly attr.MasksUpTo(maxDims); only the visit order
+// differs, which the commutative count accumulation cannot observe.
+var plans = func() [attr.NumDims + 1][]step {
+	var ps [attr.NumDims + 1][]step
+	for maxDims := 1; maxDims <= attr.NumDims; maxDims++ {
+		var steps []step
+		prev := attr.Mask(0)
+		for i := 1; i <= int(attr.AllDims); i++ {
+			m := attr.Mask(i ^ (i >> 1))
+			if bits.OnesCount8(uint8(m)) > maxDims {
+				continue
+			}
+			steps = append(steps, step{mask: m, diff: m ^ prev})
+			prev = m
+		}
+		ps[maxDims] = steps
+	}
+	return ps
+}()
+
+// planFor clamps maxDims the same way attr.MasksUpTo does.
+func planFor(maxDims int) []step {
+	if maxDims < 1 {
+		maxDims = 1
+	}
+	if maxDims > attr.NumDims {
+		maxDims = attr.NumDims
+	}
+	return plans[maxDims]
+}

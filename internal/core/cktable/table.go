@@ -1,0 +1,179 @@
+package cktable
+
+import (
+	mathbits "math/bits"
+	"sync"
+
+	"repro/internal/attr"
+)
+
+// slot is one open-addressing cell: 64 bytes, so a probe touches one cache
+// line. hash is the key's finalised hash with bit 0 forced on; 0 marks an
+// empty cell.
+type slot struct {
+	hash   uint64
+	key    attr.Key
+	counts Counts
+}
+
+// Table is the open-addressing cluster count table of one epoch. Obtain
+// instances with Acquire and return them with Release; the zero value is
+// not usable.
+type Table struct {
+	slots []slot
+	// used counts occupied slots; the table grows when used exceeds 3/4 of
+	// capacity.
+	used    int
+	maxUsed int
+	plan    []step
+}
+
+var tablePool = sync.Pool{New: func() any { return new(Table) }}
+
+// Acquire returns a cleared table ready for one epoch of sessions, drawn
+// from the pool when possible so its slot array is reused across epochs.
+//
+// Sizing: cluster cardinality is driven by the subset enumeration, not by
+// the session count alone — at the reproduction's synthetic volumes each
+// session contributes ~100 distinct keys of the 127 it touches (the fine
+// masks are nearly all unique), so the old map pre-size of 2× sessions was
+// off by ~50× and rehashed continually. We pre-size for 64 keys per
+// session at a 75% load ceiling and double from there; pooled reuse makes
+// the initial estimate matter only for the very first epoch.
+func Acquire(sessions, maxDims int) *Table {
+	t := tablePool.Get().(*Table)
+	t.plan = planFor(maxDims)
+	want := sessions * 64 * 4 / 3
+	if want < 1024 {
+		want = 1024
+	}
+	if len(t.slots) < want {
+		t.slots = make([]slot, nextPow2(want))
+	}
+	t.maxUsed = len(t.slots) / 4 * 3
+	return t
+}
+
+// Release clears the table and returns it to the pool. The table must not
+// be used afterwards.
+func (t *Table) Release() {
+	clear(t.slots)
+	t.used = 0
+	t.plan = nil
+	tablePool.Put(t)
+}
+
+// Len returns the number of distinct keys in the table.
+func (t *Table) Len() int { return t.used }
+
+// AddSession enumerates every mask of the table's plan for attribute
+// vector v and accumulates (flags, failed) into each projected cluster.
+// The walk keeps a partial key and xor-accumulated hash, updating both
+// only for the dimensions that changed since the previous mask.
+func (t *Table) AddSession(v attr.Vector, flags uint8, failed bool) {
+	for t.used+len(t.plan) > t.maxUsed {
+		// Worst case every step inserts a fresh key; growing up front keeps
+		// the inner loop free of capacity checks.
+		t.grow()
+	}
+	var h Hasher
+	h.Reset(v)
+	var cur attr.Key
+	var acc uint64
+	for _, st := range t.plan {
+		diff := st.diff
+		for diff != 0 {
+			d := attr.Dim(mathbits.TrailingZeros8(uint8(diff)))
+			diff &^= 1 << d
+			acc ^= h.dim[d]
+			if st.mask.Has(d) {
+				cur.Vals[d] = v[d]
+			} else {
+				cur.Vals[d] = 0
+			}
+		}
+		cur.Mask = st.mask
+		t.upsert(mix64(acc^maskSalt[st.mask]), cur).Add(flags, failed)
+	}
+}
+
+// Upsert returns the counts cell for key k, inserting a zero cell if
+// absent. Point callers (tests, differential harnesses) may use it with
+// KeyHash; AddSession is the fast path.
+func (t *Table) Upsert(k attr.Key) *Counts {
+	if t.used >= t.maxUsed {
+		t.grow()
+	}
+	return t.upsert(KeyHash(k), k)
+}
+
+func (t *Table) upsert(h uint64, k attr.Key) *Counts {
+	hs := h | 1
+	mask := uint64(len(t.slots) - 1)
+	for i := hs & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			s.hash = hs
+			s.key = k
+			t.used++
+			return &s.counts
+		}
+		if s.hash == hs && s.key == k {
+			return &s.counts
+		}
+	}
+}
+
+// Get returns the counts of key k and whether it is present.
+func (t *Table) Get(k attr.Key) (Counts, bool) {
+	if len(t.slots) == 0 {
+		return Counts{}, false
+	}
+	hs := KeyHash(k) | 1
+	mask := uint64(len(t.slots) - 1)
+	for i := hs & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			return Counts{}, false
+		}
+		if s.hash == hs && s.key == k {
+			return s.counts, true
+		}
+	}
+}
+
+// ForEach calls fn for every (key, counts) pair. The visit order is a pure
+// function of the stored key set — deterministic across runs, unlike map
+// ranges — but not sorted; consumers that need sorted keys sort as before.
+func (t *Table) ForEach(fn func(k attr.Key, c Counts)) {
+	for i := range t.slots {
+		if t.slots[i].hash != 0 {
+			fn(t.slots[i].key, t.slots[i].counts)
+		}
+	}
+}
+
+func (t *Table) grow() {
+	old := t.slots
+	t.slots = make([]slot, 2*len(old))
+	t.maxUsed = len(t.slots) / 4 * 3
+	mask := uint64(len(t.slots) - 1)
+	for i := range old {
+		s := &old[i]
+		if s.hash == 0 {
+			continue
+		}
+		j := s.hash & mask
+		for t.slots[j].hash != 0 {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = *s
+	}
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (64 - mathbits.LeadingZeros64(uint64(n-1)))
+}

@@ -150,12 +150,16 @@ func (tr *TraceResult) Slice(r epoch.Range) *TraceResult {
 	}
 }
 
-// AnalyzeEpoch analyses one epoch of digested sessions.
+// AnalyzeEpoch analyses one epoch of digested sessions. The count table is
+// drawn from the aggregation-engine pool and returned to it before this
+// function returns (the summaries copy everything they keep), so a
+// steady-state stream of epochs rebuilds the table without allocating.
 func AnalyzeEpoch(e epoch.Index, lites []cluster.Lite, cfg Config) (*EpochResult, error) {
 	if err := cfg.Thresholds.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	tbl := cluster.NewTable(e, lites, cfg.MaxDims)
+	defer tbl.Release()
 	res := &EpochResult{Epoch: e}
 	for _, m := range metric.All() {
 		view, err := cluster.BuildView(tbl, m, cfg.Thresholds)
@@ -184,7 +188,7 @@ func summarize(m metric.Metric, v *cluster.View, det *critical.Result, keepProbl
 		for k := range v.Problem {
 			ms.ProblemKeys = append(ms.ProblemKeys, k)
 		}
-		sort.Slice(ms.ProblemKeys, func(i, j int) bool { return keyLess(ms.ProblemKeys[i], ms.ProblemKeys[j]) })
+		sort.Slice(ms.ProblemKeys, func(i, j int) bool { return ms.ProblemKeys[i].Less(ms.ProblemKeys[j]) })
 	}
 	for _, k := range det.Keys() {
 		c := det.Critical[k]
@@ -201,16 +205,23 @@ func summarize(m metric.Metric, v *cluster.View, det *critical.Result, keepProbl
 	return ms
 }
 
-func keyLess(a, b attr.Key) bool {
-	if a.Mask != b.Mask {
-		return a.Mask < b.Mask
+
+// litePool recycles per-epoch digest buffers between epochs; AnalyzeEpoch
+// does not retain its lites argument (the pooled table's session reference
+// is cleared on release), so returning a buffer after analysis is safe.
+var litePool sync.Pool
+
+func acquireLites() []cluster.Lite {
+	if p, ok := litePool.Get().(*[]cluster.Lite); ok {
+		return (*p)[:0]
 	}
-	for d := attr.Dim(0); d < attr.NumDims; d++ {
-		if a.Vals[d] != b.Vals[d] {
-			return a.Vals[d] < b.Vals[d]
-		}
+	return nil
+}
+
+func releaseLites(lites []cluster.Lite) {
+	if cap(lites) > 0 {
+		litePool.Put(&lites)
 	}
-	return false
 }
 
 // AnalyzeGenerator regenerates every epoch from the synthetic generator and
@@ -222,11 +233,12 @@ func AnalyzeGenerator(g *synth.Generator, cfg Config) (*TraceResult, error) {
 		Epochs:     make([]EpochResult, g.Config().Trace.Len()),
 	}
 	err := g.ForEachEpoch(cfg.Workers, func(e epoch.Index, batch []session.Session) error {
-		lites := make([]cluster.Lite, len(batch))
+		lites := acquireLites()
 		for i := range batch {
-			lites[i] = cluster.Digest(&batch[i], cfg.Thresholds)
+			lites = append(lites, cluster.Digest(&batch[i], cfg.Thresholds))
 		}
 		res, err := AnalyzeEpoch(e, lites, cfg)
+		releaseLites(lites)
 		if err != nil {
 			return err
 		}
@@ -265,6 +277,7 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 			defer wg.Done()
 			for j := range jobs {
 				res, err := AnalyzeEpoch(j.e, j.lites, cfg)
+				releaseLites(j.lites)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -287,7 +300,7 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 	flush := func() {
 		if len(lites) > 0 {
 			jobs <- job{e: cur, lites: lites}
-			lites = nil
+			lites = acquireLites()
 		}
 	}
 	var s session.Session

@@ -29,6 +29,7 @@
 package critical
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/attr"
@@ -122,7 +123,7 @@ func DetectOpts(v *cluster.View, opts Options) *Result {
 	for k := range v.Problem {
 		problemKeys = append(problemKeys, k)
 	}
-	sort.Slice(problemKeys, func(i, j int) bool { return keyLess(problemKeys[i], problemKeys[j]) })
+	sort.Slice(problemKeys, func(i, j int) bool { return problemKeys[i].Less(problemKeys[j]) })
 	for _, k := range problemKeys {
 		nearest := nearestCritical(r.Critical, k)
 		if len(nearest) == 0 {
@@ -189,22 +190,29 @@ func DetectOpts(v *cluster.View, opts Options) *Result {
 // candidate P at dimension d covers P's children obtained by fixing d.
 func buildChildStats(v *cluster.View) map[attr.Key]*[attr.NumDims]childAgg {
 	m := v.Metric
+	// One backing array for every candidate: two allocations total, and —
+	// unlike Mask.Dims() — the inner dimension walk below allocates nothing
+	// even though it runs for every significant key of the table.
+	backing := make([][attr.NumDims]childAgg, len(v.Problem))
 	stats := make(map[attr.Key]*[attr.NumDims]childAgg, len(v.Problem))
+	next := 0
 	for k := range v.Problem {
-		stats[k] = &[attr.NumDims]childAgg{}
+		stats[k] = &backing[next]
+		next++
 	}
-	for k, c := range v.Table().ByKey {
+	v.Table().ForEach(func(k attr.Key, c cluster.Counts) {
 		n := c.Sessions(m)
 		if n < v.MinSessions {
-			continue
+			return
 		}
 		// Children are judged by the ratio-only rule: a weak anchor's
 		// descendants are too small for per-child z-significance, but their
 		// uniformly elevated ratios are the downward pattern we test for.
 		problem := v.IsProblemRatioOnly(c)
-		for _, d := range k.Mask.Dims() {
-			p := k.Parent(d)
-			agg, ok := stats[p]
+		for rem := k.Mask; rem != 0; {
+			d := attr.Dim(bits.TrailingZeros8(uint8(rem)))
+			rem = rem.Without(d)
+			agg, ok := stats[k.Parent(d)]
 			if !ok {
 				continue
 			}
@@ -213,7 +221,7 @@ func buildChildStats(v *cluster.View) map[attr.Key]*[attr.NumDims]childAgg {
 				agg[d].prob += int64(n)
 			}
 		}
-	}
+	})
 	return stats
 }
 
@@ -283,7 +291,7 @@ func dedupeCorrelated(v *cluster.View, critical map[attr.Key]*Cluster, opts Opti
 		if si != sj {
 			return si > sj
 		}
-		return keyLess(keys[i], keys[j])
+		return keys[i].Less(keys[j])
 	})
 	for _, k := range keys {
 		c, ok := critical[k]
@@ -326,7 +334,7 @@ func nearestCritical(critical map[attr.Key]*Cluster, k attr.Key) []attr.Key {
 			best = append(best, sub)
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return keyLess(best[i], best[j]) })
+	sort.Slice(best, func(i, j int) bool { return best[i].Less(best[j]) })
 	return best
 }
 
@@ -339,21 +347,10 @@ func criticalDescendants(critical map[attr.Key]*Cluster, k attr.Key) []attr.Key 
 			out = append(out, ck)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return keyLess(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-func keyLess(a, b attr.Key) bool {
-	if a.Mask != b.Mask {
-		return a.Mask < b.Mask
-	}
-	for d := attr.Dim(0); d < attr.NumDims; d++ {
-		if a.Vals[d] != b.Vals[d] {
-			return a.Vals[d] < b.Vals[d]
-		}
-	}
-	return false
-}
 
 // criticalMasks lists the distinct masks of the critical set.
 func criticalMasks(set map[attr.Key]*Cluster) []attr.Mask {
@@ -375,7 +372,7 @@ func (r *Result) Keys() []attr.Key {
 	for k := range r.Critical {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return keyLess(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 

@@ -95,16 +95,16 @@ func Drill(v *cluster.View, k attr.Key, space *attr.Space) (*Report, error) {
 			children[d] = make(childAcc)
 		}
 	}
-	for key, counts := range v.Table().ByKey {
+	v.Table().ForEach(func(key attr.Key, counts cluster.Counts) {
 		if key.Mask.Size() != k.Size()+1 || !k.Subsumes(key) {
-			continue
+			return
 		}
 		for _, d := range key.Mask.Dims() {
 			if !k.Mask.Has(d) {
 				children[d][key.Vals[d]] = counts
 			}
 		}
-	}
+	})
 
 	for d := attr.Dim(0); d < attr.NumDims; d++ {
 		acc, ok := children[d]

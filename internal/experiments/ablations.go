@@ -309,6 +309,7 @@ func (s *Suite) CompareHHH(w io.Writer) (HHHComparison, error) {
 				hhhMatch++
 			}
 		}
+		tbl.Release()
 	}
 	if critN > 0 {
 		out.CriticalPrecision = float64(critMatch) / float64(critN)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/cluster"
+	"repro/internal/core/cktable"
 	"repro/internal/metric"
 )
 
@@ -91,7 +92,15 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 	}
 
 	claimed := make([]bool, len(idx))
-	raw := make(map[attr.Key]int)
+
+	// Raw (undiscounted) problem-session counts per key, aggregated once
+	// through the pooled open-addressing engine instead of 127 map
+	// increments per problem session.
+	raw := cktable.Acquire(len(idx), maxDims)
+	defer raw.Release()
+	for _, si := range idx {
+		raw.AddSession(sessions[si].Attrs, 0, false)
+	}
 
 	// Masks grouped by size, finest first.
 	masks := attr.MasksUpTo(maxDims)
@@ -106,16 +115,16 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		level := masks[start:end]
 		start = end
 
-		// Count unclaimed (and raw) problem sessions per key at this level.
+		// Count unclaimed problem sessions per key at this level.
 		unclaimed := make(map[attr.Key][]int32)
 		for pos, si := range idx {
+			if claimed[pos] {
+				continue
+			}
 			l := &sessions[si]
 			for _, mk := range level {
 				key := attr.KeyOf(l.Attrs, mk)
-				raw[key]++
-				if !claimed[pos] {
-					unclaimed[key] = append(unclaimed[key], int32(pos))
-				}
+				unclaimed[key] = append(unclaimed[key], int32(pos))
 			}
 		}
 		// Keys reaching the threshold become hitters and claim their
@@ -132,7 +141,7 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 			if a != b {
 				return a > b
 			}
-			return keyLess(cands[i], cands[j])
+			return cands[i].Less(cands[j])
 		})
 		for _, key := range cands {
 			n := 0
@@ -156,28 +165,18 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 	}
 
 	for i := range res.Hitters {
-		res.Hitters[i].Raw = raw[res.Hitters[i].Key]
+		c, _ := raw.Get(res.Hitters[i].Key)
+		res.Hitters[i].Raw = int(c.Total)
 	}
 	sort.SliceStable(res.Hitters, func(i, j int) bool {
 		if res.Hitters[i].Discounted != res.Hitters[j].Discounted {
 			return res.Hitters[i].Discounted > res.Hitters[j].Discounted
 		}
-		return keyLess(res.Hitters[i].Key, res.Hitters[j].Key)
+		return res.Hitters[i].Key.Less(res.Hitters[j].Key)
 	})
 	return res, nil
 }
 
-func keyLess(a, b attr.Key) bool {
-	if a.Mask != b.Mask {
-		return a.Mask < b.Mask
-	}
-	for d := attr.Dim(0); d < attr.NumDims; d++ {
-		if a.Vals[d] != b.Vals[d] {
-			return a.Vals[d] < b.Vals[d]
-		}
-	}
-	return false
-}
 
 // Keys returns the hitter keys in rank order.
 func (r *Result) Keys() []attr.Key {

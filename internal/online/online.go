@@ -150,7 +150,7 @@ func (d *Detector) closeEpoch() error {
 				keys = append(keys, k)
 			}
 		}
-		sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 
 		for _, k := range keys {
 			cs, active := now[k]
@@ -186,14 +186,3 @@ func (d *Detector) send(a Alert) {
 	}
 }
 
-func keyLess(a, b attr.Key) bool {
-	if a.Mask != b.Mask {
-		return a.Mask < b.Mask
-	}
-	for d := attr.Dim(0); d < attr.NumDims; d++ {
-		if a.Vals[d] != b.Vals[d] {
-			return a.Vals[d] < b.Vals[d]
-		}
-	}
-	return false
-}

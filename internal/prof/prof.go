@@ -1,0 +1,60 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the command-line tools, so future perf work on the aggregation substrate
+// can see where time and memory go without ad-hoc instrumentation.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop
+// function that ends the profile and closes the file. An empty path is a
+// no-op (the returned stop still must be safe to call).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("prof: %w (and closing: %v)", err, cerr)
+		}
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: closing cpu profile: %v\n", err)
+		}
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after a forced GC (so the
+// profile reflects live memory, not collectible garbage). An empty path is
+// a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("prof: %w (and closing: %v)", err, cerr)
+		}
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench.sh — run the substrate benchmarks and record a perf baseline.
+#
+# Usage:
+#
+#	scripts/bench.sh <label> [bench-regexp]
+#
+# Runs the aggregation-substrate benchmarks with -benchmem -count=5 and
+# writes BENCH_<label>.json at the repo root: per benchmark the best (min)
+# ns/op and B/op across the runs plus the (run-invariant) allocs/op. The
+# committed BENCH_baseline.json / BENCH_cktable.json pair records the perf
+# trajectory of the epoch-aggregation engine; future PRs append labels.
+set -eu
+
+label="${1:?usage: scripts/bench.sh <label> [bench-regexp]}"
+pattern="${2:-ClusterTable|CriticalDetect|HHHDetect|SessionBinaryCodec|HeartbeatProtocol}"
+count="${BENCH_COUNT:-5}"
+
+cd "$(dirname "$0")/.."
+out="BENCH_${label}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -count="$count" . | tee "$raw"
+
+goversion="$(go env GOVERSION)"
+
+awk -v label="$label" -v goversion="$goversion" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
+	if (bytes != "" && (!(name in best_b) || bytes + 0 < best_b[name] + 0)) best_b[name] = bytes
+	if (allocs != "") allocs_op[name] = allocs
+	runs[name]++
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n  \"label\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", label, goversion
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s, \"runs\": %d}%s\n", \
+			name, best_ns[name], (name in best_b) ? best_b[name] : "null", \
+			(name in allocs_op) ? allocs_op[name] : "null", runs[name], \
+			(i < n - 1) ? "," : ""
+	}
+	printf "  }\n}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out"
