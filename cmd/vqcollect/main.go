@@ -2,6 +2,13 @@
 // of the reproduction — accepting TCP heartbeat streams from video players
 // and appending assembled sessions to a trace file.
 //
+// The pipeline is built to degrade by accounting rather than crash: sessions
+// flow through a bounded spool (a stalled disk sheds load instead of
+// backpressuring the accept plane), the trace is written with periodic fsync
+// and atomic rotation (a crash loses at most a bounded tail, never the
+// file), and shutdown drains connections against a deadline — a drain that
+// times out force-closes stragglers and exits non-zero.
+//
 // With -demo N it also spawns N simulated adaptive-bitrate players (package
 // player driving package cdn deliveries) against its own listener, so the
 // whole measurement pipeline can be exercised on one machine:
@@ -10,14 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/attr"
@@ -31,6 +39,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("vqcollect: ")
 	var (
@@ -39,7 +51,9 @@ func main() {
 		out   = flag.String("out", "collected.vqt", "trace file to append assembled sessions to")
 		demo  = flag.Int("demo", 0, "also run this many simulated player sessions against the collector")
 		seed  = flag.Uint64("seed", 1, "world seed for the demo players")
-		flush = flag.Duration("flush", 30*time.Second, "idle-session flush interval")
+		flush = flag.Duration("flush", 30*time.Second, "idle-session flush and trace sync interval")
+		grace = flag.Duration("grace", 10*time.Second, "connection drain deadline at shutdown")
+		spool = flag.Int("spool", 1024, "bounded session buffer between assembler and trace writer")
 	)
 	flag.Parse()
 
@@ -48,37 +62,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
 	hdr := trace.HeaderFor(w.Space(), 1, *seed)
 	hdr.Comment = "sessions assembled by vqcollect"
-	tw, err := trace.NewWriter(f, hdr, false)
+	// Atomic rotation: sessions stream into *out+".partial" and only a clean
+	// Close publishes *out, so downstream readers never open a half-written
+	// container. Periodic fsync bounds what a crash can lose.
+	tw, err := trace.CreateAtomic(*out, hdr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	tw.SyncEvery = 64
 
-	var mu sync.Mutex
-	var count int
-	collector := heartbeat.NewCollector(func(s session.Session) {
-		mu.Lock()
-		defer mu.Unlock()
+	// The spool decouples the accept plane from the disk: its single
+	// delivery goroutine is the only session writer, and the mutex only
+	// serializes it against the periodic sync below.
+	var wmu sync.Mutex
+	sp := heartbeat.NewSpool(*spool, func(s session.Session) {
+		wmu.Lock()
+		defer wmu.Unlock()
 		if err := tw.Write(&s); err != nil {
 			log.Printf("writing session: %v", err)
-			return
 		}
-		count++
 	})
+
+	collector := heartbeat.NewCollector(sp.Emit)
 	if err := collector.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("collecting heartbeats on %s → %s\n", collector.Addr(), *out)
+
 	var httpSrv *http.Server
 	if *httpA != "" {
 		httpSrv = &http.Server{
 			Addr:    *httpA,
 			Handler: &heartbeat.HTTPHandler{Asm: collector.Assembler(), Logf: log.Printf},
+			// Slow-loris defense: a client that trickles its headers or body
+			// is cut off instead of pinning a handler goroutine forever.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
 		}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -98,6 +119,11 @@ func main() {
 				if n := collector.Assembler().Flush(false); n > 0 {
 					log.Printf("flushed %d idle sessions", n)
 				}
+				wmu.Lock()
+				if err := tw.Sync(); err != nil {
+					log.Printf("syncing trace: %v", err)
+				}
+				wmu.Unlock()
 			case <-stopFlush:
 				return
 			}
@@ -112,44 +138,60 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	} else {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\nshutting down")
 	}
 
+	exit := 0
 	close(stopFlush)
 	if httpSrv != nil {
-		if err := httpSrv.Close(); err != nil {
-			log.Printf("closing http server: %v", err)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutting down http server: %v", err)
 		}
+		cancel()
 	}
-	if err := collector.Close(); err != nil {
+	// Drain heartbeat connections, force-flush pending sessions into the
+	// spool, then drain the spool into the trace. Order matters: the spool
+	// must outlive the collector's final flush.
+	if err := collector.CloseGrace(*grace); err != nil {
 		log.Printf("closing collector: %v", err)
+		exit = 1
 	}
-	mu.Lock()
-	defer mu.Unlock()
+	sp.Close()
+	wmu.Lock()
+	defer wmu.Unlock()
 	if err := tw.Close(); err != nil {
-		log.Fatal(err)
+		log.Printf("closing trace: %v", err)
+		exit = 1
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
+
+	st := sp.Stats()
+	cs := collector.Stats()
+	fmt.Printf("wrote %d assembled sessions to %s\n", st.Delivered, *out)
+	if st.Shed > 0 || cs.Salvaged > 0 || cs.ReplaysDropped > 0 || cs.HandlerPanics > 0 {
+		fmt.Printf("loss accounting: %d shed at the spool, %d salvaged as join failures, %d replays deduplicated, %d handler panics\n",
+			st.Shed, cs.Salvaged, cs.ReplaysDropped, cs.HandlerPanics)
 	}
-	fmt.Printf("wrote %d assembled sessions to %s\n", count, *out)
+	if cs.ForceClosed > 0 {
+		log.Printf("drain timed out: %d connections force-closed after %v", cs.ForceClosed, *grace)
+		exit = 1
+	}
+	return exit
 }
 
 // runDemo simulates n player sessions end-to-end: world attributes → CDN
-// delivery → ABR playback → heartbeats over TCP.
+// delivery → ABR playback → heartbeats over TCP through the reconnecting
+// Sender (the fault-tolerant client the chaos tests exercise).
 func runDemo(addr string, w *world.World, seed uint64, n int) error {
 	model, err := cdn.New(w, cdn.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	em := &heartbeat.Emitter{W: heartbeat.NewWriter(conn), ProgressEvery: 2}
+	snd := heartbeat.DialSender(addr, heartbeat.SenderConfig{Seed: seed})
+	snd.Logf = log.Printf
+	defer snd.Close()
 	rng := stats.NewRNG(seed).Split(0xDE)
 	abrs := []player.ABR{player.RateBased{}, player.BufferBased{}, player.Fixed{Index: 1}}
 	for i := 0; i < n; i++ {
@@ -164,7 +206,7 @@ func runDemo(addr string, w *world.World, seed uint64, n int) error {
 			return err
 		}
 		s := session.Session{ID: uint64(i + 1), Epoch: 0, Attrs: attrs, QoE: res.QoE, EventIDs: session.NoEvents}
-		if err := em.EmitSession(&s); err != nil {
+		if err := snd.EmitSession(&s, 2); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a fault-wrapped client end and the raw server end of an
+// in-memory duplex stream.
+func pipePair(cfg Config, id uint64) (*Conn, net.Conn) {
+	client, server := net.Pipe()
+	return WrapConn(client, cfg, id), server
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	fc, server := pipePair(Config{Seed: 1}, 1)
+	defer fc.Close()
+	defer server.Close()
+	go func() {
+		buf := make([]byte, 5)
+		if _, err := server.Read(buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := server.Write(buf); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, 5)
+	if _, err := fc.Read(got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestResetIsSticky(t *testing.T) {
+	fc, server := pipePair(Config{Seed: 7, ResetProb: 1}, 1)
+	defer server.Close()
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("first write error = %v, want injected reset", err)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write error = %v, want injected reset", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset read error = %v, want injected reset", err)
+	}
+	if st := fc.Stats(); st.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestPartialWriteDeliversStrictPrefix(t *testing.T) {
+	fc, server := pipePair(Config{Seed: 3, PartialWriteProb: 1}, 1)
+	defer server.Close()
+	payload := []byte("0123456789")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write n = %d, want strict prefix of %d", n, len(payload))
+	}
+	select {
+	case b := <-got:
+		if !bytes.Equal(b, payload[:len(b)]) {
+			t.Fatalf("delivered bytes %q are not a prefix of %q", b, payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("server never observed the prefix")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	fc, server := pipePair(Config{Seed: 9, CorruptProb: 1}, 1)
+	defer fc.Close()
+	defer server.Close()
+	payload := []byte("heartbeat-frame")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	if _, err := fc.Write(payload); err != nil {
+		t.Fatalf("corrupting write failed: %v", err)
+	}
+	b := <-got
+	if len(b) != len(payload) {
+		t.Fatalf("delivered %d bytes, want %d", len(b), len(payload))
+	}
+	diffBits := 0
+	for i := range b {
+		x := b[i] ^ payload[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() ConnStats {
+		cfg := Config{Seed: 42, ResetProb: 0.2, CorruptProb: 0.3}
+		fc, server := pipePair(cfg, 5)
+		defer fc.Close()
+		defer server.Close()
+		go func() {
+			buf := make([]byte, 64)
+			for {
+				if _, err := server.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		for i := 0; i < 50; i++ {
+			if _, err := fc.Write([]byte("abcdef")); err != nil {
+				break
+			}
+		}
+		return fc.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different fault schedules: %+v vs %+v", a, b)
+	}
+	if a.Resets == 0 && a.Corruptions == 0 {
+		t.Fatalf("schedule injected no faults at all: %+v", a)
+	}
+}
+
+func TestAcceptFailureIsTemporary(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(base, Config{Seed: 11, AcceptFailProb: 1})
+	defer ln.Close()
+	_, err = ln.Accept()
+	if err == nil {
+		t.Fatal("accept succeeded under AcceptFailProb=1")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Temporary() { // Temporary is the retry contract here
+		t.Fatalf("accept error %v is not a temporary net.Error", err)
+	}
+	if _, failed := ln.AcceptStats(); failed == 0 {
+		t.Fatal("accept failure not counted")
+	}
+}
+
+func TestDialerWrapsEachConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	dial := Dialer(func() (net.Conn, error) {
+		return net.Dial("tcp", ln.Addr().String())
+	}, Config{Seed: 1, ResetProb: 1})
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("dialer returned %T, want *faultnet.Conn", c)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("wrapped dial write error = %v", err)
+	}
+}

@@ -9,6 +9,13 @@ import (
 	"repro/internal/session"
 )
 
+// recentCompletedCap bounds the completed-session dedup window. Reconnecting
+// senders replay a session's Hello (and Joined) after a connection loss; if
+// the session already completed on the collector side, the replay must not
+// resurrect it as a phantom — the window absorbs replays arriving up to this
+// many completions late.
+const recentCompletedCap = 4096
+
 // Assembler folds a heartbeat stream into completed sessions. It is safe
 // for concurrent use by multiple connection handlers.
 type Assembler struct {
@@ -19,6 +26,31 @@ type Assembler struct {
 	// it); zero disables time-based flushing.
 	IdleTimeout time.Duration
 	now         func() time.Time
+
+	// Completed-session dedup: a bounded FIFO window of session IDs that
+	// have already been emitted. Replayed heartbeats for them are dropped
+	// silently (counted), never assembled twice.
+	recent  map[uint64]struct{}
+	recentQ []uint64
+
+	emitted       int64
+	salvaged      int64
+	replaysDroppd int64
+}
+
+// AssemblerStats snapshots the assembler's accounting counters.
+type AssemblerStats struct {
+	// Pending is the number of in-flight sessions.
+	Pending int
+	// Emitted counts every session delivered to emit (completed, flushed,
+	// or salvaged).
+	Emitted int64
+	// Salvaged counts the subset of Emitted that never reported a player
+	// status and were assembled as join failures (paper §2 footnote 1).
+	Salvaged int64
+	// ReplaysDropped counts heartbeats for already-completed sessions
+	// (sender replays after reconnect) that were deduplicated.
+	ReplaysDropped int64
 }
 
 type pendingSession struct {
@@ -35,6 +67,7 @@ func NewAssembler(emit func(session.Session)) *Assembler {
 		emit:        emit,
 		IdleTimeout: 2 * time.Minute,
 		now:         time.Now,
+		recent:      make(map[uint64]struct{}),
 	}
 }
 
@@ -44,8 +77,21 @@ func (a *Assembler) Handle(m *Message) error {
 	defer a.mu.Unlock()
 	switch m.Kind {
 	case KindHello:
-		if _, dup := a.pending[m.SessionID]; dup {
-			return fmt.Errorf("heartbeat: duplicate Hello for session %d", m.SessionID)
+		if p, dup := a.pending[m.SessionID]; dup {
+			// Re-Hello: a sender replaying its session after reconnect.
+			// Identical identity refreshes the session; a conflicting one
+			// is a real protocol violation (two players sharing an ID).
+			if p.s.Epoch == m.Epoch && p.s.Attrs == m.Attrs {
+				p.lastSeen = a.now()
+				return nil
+			}
+			return fmt.Errorf("heartbeat: conflicting Hello for session %d", m.SessionID)
+		}
+		if _, done := a.recent[m.SessionID]; done {
+			// The session already completed (possibly salvaged while its
+			// sender was backing off); drop the replay, don't resurrect.
+			a.replaysDroppd++
+			return nil
 		}
 		a.pending[m.SessionID] = &pendingSession{
 			s: session.Session{
@@ -61,6 +107,9 @@ func (a *Assembler) Handle(m *Message) error {
 		if err != nil {
 			return err
 		}
+		if p == nil {
+			return nil
+		}
 		p.joined = true
 		p.s.QoE.JoinTimeMS = m.JoinTimeMS
 		p.lastSeen = a.now()
@@ -68,6 +117,9 @@ func (a *Assembler) Handle(m *Message) error {
 		p, err := a.get(m.SessionID)
 		if err != nil {
 			return err
+		}
+		if p == nil {
+			return nil
 		}
 		if !p.joined {
 			return fmt.Errorf("heartbeat: Progress before Joined for session %d", m.SessionID)
@@ -79,6 +131,9 @@ func (a *Assembler) Handle(m *Message) error {
 		if err != nil {
 			return err
 		}
+		if p == nil {
+			return nil
+		}
 		if !p.joined {
 			return fmt.Errorf("heartbeat: End before Joined for session %d", m.SessionID)
 		}
@@ -89,21 +144,47 @@ func (a *Assembler) Handle(m *Message) error {
 		if err != nil {
 			return err
 		}
+		if p == nil {
+			return nil
+		}
 		delete(a.pending, m.SessionID)
 		p.s.QoE = metric.QoE{JoinFailed: true}
-		a.emit(p.s)
+		a.emitLocked(p.s)
 	default:
 		return fmt.Errorf("heartbeat: unknown kind %v", m.Kind)
 	}
 	return nil
 }
 
+// get resolves a non-Hello heartbeat's pending session. A nil, nil return
+// means the heartbeat is a replay for an already-completed session and must
+// be dropped silently.
 func (a *Assembler) get(id uint64) (*pendingSession, error) {
 	p, ok := a.pending[id]
 	if !ok {
+		if _, done := a.recent[id]; done {
+			a.replaysDroppd++
+			return nil, nil
+		}
 		return nil, fmt.Errorf("heartbeat: session %d has no Hello", id)
 	}
 	return p, nil
+}
+
+// emitLocked delivers one completed session and records its ID in the
+// bounded dedup window.
+func (a *Assembler) emitLocked(s session.Session) {
+	a.emitted++
+	if _, dup := a.recent[s.ID]; !dup {
+		a.recent[s.ID] = struct{}{}
+		a.recentQ = append(a.recentQ, s.ID)
+		if len(a.recentQ) > recentCompletedCap {
+			evict := a.recentQ[0]
+			a.recentQ = a.recentQ[1:]
+			delete(a.recent, evict)
+		}
+	}
+	a.emit(s)
 }
 
 // finishLocked completes a joined session from its last progress report.
@@ -121,7 +202,7 @@ func (a *Assembler) finishLocked(p *pendingSession, durationS float64) {
 		q.BitrateKbps = p.progress.WeightedKbpsSec / played
 	}
 	q.DurationS = played
-	a.emit(p.s)
+	a.emitLocked(p.s)
 }
 
 // Pending reports the number of in-flight sessions.
@@ -131,10 +212,22 @@ func (a *Assembler) Pending() int {
 	return len(a.pending)
 }
 
+// Stats snapshots the assembler counters.
+func (a *Assembler) Stats() AssemblerStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AssemblerStats{
+		Pending:        len(a.pending),
+		Emitted:        a.emitted,
+		Salvaged:       a.salvaged,
+		ReplaysDropped: a.replaysDroppd,
+	}
+}
+
 // Flush force-completes stale sessions: joined sessions finish with their
 // last progress report; sessions that never reported a player status
-// assemble as join failures (paper §2 footnote 1). With force set, every
-// pending session flushes regardless of idle time.
+// assemble as join failures (paper §2 footnote 1) and count as salvaged.
+// With force set, every pending session flushes regardless of idle time.
 func (a *Assembler) Flush(force bool) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -149,8 +242,9 @@ func (a *Assembler) Flush(force bool) int {
 		if p.joined {
 			a.finishLocked(p, p.progress.PlayedS)
 		} else {
+			a.salvaged++
 			p.s.QoE = metric.QoE{JoinFailed: true}
-			a.emit(p.s)
+			a.emitLocked(p.s)
 		}
 	}
 	return n

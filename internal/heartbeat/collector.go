@@ -5,6 +5,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,10 +16,19 @@ import (
 
 // Collector is the measurement back end: a TCP server that decodes
 // heartbeat streams from many concurrent clients and assembles completed
-// sessions.
+// sessions. It is built to survive a hostile network: per-connection idle
+// read deadlines bound half-open connections, transient accept failures are
+// retried with backoff instead of killing the accept loop, and a panic in a
+// handler (or in the emit callback) tears down one connection, never the
+// process.
 type Collector struct {
 	asm *Assembler
 	ln  net.Listener
+
+	// ReadIdleTimeout bounds the gap between heartbeats on one connection;
+	// a connection that stalls longer is dropped and its sessions are left
+	// to the idle flusher to salvage. Zero disables the deadline.
+	ReadIdleTimeout time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -31,6 +41,9 @@ type Collector struct {
 	connsAccepted  atomic.Int64
 	framesHandled  atomic.Int64
 	protocolErrors atomic.Int64
+	acceptErrors   atomic.Int64
+	handlerPanics  atomic.Int64
+	forceClosed    atomic.Int64
 }
 
 // Stats is a snapshot of collector counters.
@@ -38,16 +51,35 @@ type Stats struct {
 	ConnsAccepted  int64
 	FramesHandled  int64
 	ProtocolErrors int64
+	// AcceptErrors counts transient Accept failures that were retried.
+	AcceptErrors int64
+	// HandlerPanics counts connection handlers torn down by a panic.
+	HandlerPanics int64
+	// ForceClosed counts straggler connections killed because the drain
+	// grace expired during Close.
+	ForceClosed    int64
 	PendingSession int
+	// SessionsEmitted, Salvaged, and ReplaysDropped mirror the assembler's
+	// accounting (see AssemblerStats).
+	SessionsEmitted int64
+	Salvaged        int64
+	ReplaysDropped  int64
 }
 
 // Stats returns current counters.
 func (c *Collector) Stats() Stats {
+	as := c.asm.Stats()
 	return Stats{
-		ConnsAccepted:  c.connsAccepted.Load(),
-		FramesHandled:  c.framesHandled.Load(),
-		ProtocolErrors: c.protocolErrors.Load(),
-		PendingSession: c.asm.Pending(),
+		ConnsAccepted:   c.connsAccepted.Load(),
+		FramesHandled:   c.framesHandled.Load(),
+		ProtocolErrors:  c.protocolErrors.Load(),
+		AcceptErrors:    c.acceptErrors.Load(),
+		HandlerPanics:   c.handlerPanics.Load(),
+		ForceClosed:     c.forceClosed.Load(),
+		PendingSession:  as.Pending,
+		SessionsEmitted: as.Emitted,
+		Salvaged:        as.Salvaged,
+		ReplaysDropped:  as.ReplaysDropped,
 	}
 }
 
@@ -55,9 +87,10 @@ func (c *Collector) Stats() Stats {
 // emit may be called concurrently.
 func NewCollector(emit func(session.Session)) *Collector {
 	return &Collector{
-		asm:   NewAssembler(emit),
-		conns: make(map[net.Conn]bool),
-		Logf:  log.Printf,
+		asm:             NewAssembler(emit),
+		conns:           make(map[net.Conn]bool),
+		Logf:            log.Printf,
+		ReadIdleTimeout: 2 * time.Minute,
 	}
 }
 
@@ -71,6 +104,12 @@ func (c *Collector) Listen(addr string) error {
 	if err != nil {
 		return err
 	}
+	return c.Serve(ln)
+}
+
+// Serve accepts heartbeat connections from an existing listener (a
+// fault-injecting wrapper in the chaos tests, a TCP listener in Listen).
+func (c *Collector) Serve(ln net.Listener) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -95,15 +134,46 @@ func (c *Collector) Addr() net.Addr {
 	return c.ln.Addr()
 }
 
+func (c *Collector) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 func (c *Collector) acceptLoop(ln net.Listener) {
 	defer c.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			// Listener closed or drain deadline reached. Connections
 			// accepted before this point are still served to EOF.
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return
+			}
+			if c.isClosed() {
+				return
+			}
+			// Transient failure (EMFILE, injected chaos, a reset mid
+			// handshake): log, back off briefly, keep accepting. A flaky
+			// accept path must degrade to slower admission, not shutdown.
+			c.acceptErrors.Add(1)
+			if c.Logf != nil {
+				c.Logf("heartbeat: accept: %v", err)
+			}
+			if backoff < time.Millisecond {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		c.connsAccepted.Add(1)
 		c.mu.Lock()
 		c.conns[conn] = true
@@ -119,14 +189,36 @@ func (c *Collector) acceptLoop(ln net.Listener) {
 	}
 }
 
-// ServeConn decodes one heartbeat stream until EOF or a protocol error.
-// Exposed so tests and in-process pipelines can drive the collector over
-// net.Pipe or any io.ReadCloser.
+// readDeadliner is the slice of net.Conn the idle deadline needs; io-only
+// streams (files, pipes in tests) simply run without one.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// ServeConn decodes one heartbeat stream until EOF, a protocol error, or an
+// idle timeout. Exposed so tests and in-process pipelines can drive the
+// collector over net.Pipe or any io.ReadCloser. A panic while handling a
+// frame (including inside the emit callback) is isolated to this
+// connection.
 func (c *Collector) ServeConn(conn io.ReadCloser) {
 	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			c.handlerPanics.Add(1)
+			if c.Logf != nil {
+				c.Logf("heartbeat: handler panic (connection dropped): %v\n%s", r, debug.Stack())
+			}
+		}
+	}()
+	rd, _ := conn.(readDeadliner)
 	r := NewReader(conn)
 	var m Message
 	for {
+		if rd != nil && c.ReadIdleTimeout > 0 {
+			if err := rd.SetReadDeadline(time.Now().Add(c.ReadIdleTimeout)); err != nil {
+				rd = nil // transport without working deadlines; serve unbounded
+			}
+		}
 		if err := r.Read(&m); err != nil {
 			if err != io.EOF && c.Logf != nil {
 				c.Logf("heartbeat: connection error: %v", err)
@@ -151,7 +243,9 @@ func (c *Collector) ServeConn(conn io.ReadCloser) {
 // Finally the assembler force-flushes so no pending session is lost.
 func (c *Collector) Close() error { return c.CloseGrace(10 * time.Second) }
 
-// CloseGrace is Close with an explicit drain deadline.
+// CloseGrace is Close with an explicit drain deadline. Stragglers killed at
+// the deadline are counted in Stats.ForceClosed, so operators can tell a
+// clean drain from a timed-out one.
 func (c *Collector) CloseGrace(grace time.Duration) error {
 	c.mu.Lock()
 	if c.closed {
@@ -196,6 +290,7 @@ func (c *Collector) CloseGrace(grace time.Duration) error {
 	case <-time.After(grace):
 		c.mu.Lock()
 		for conn := range c.conns {
+			c.forceClosed.Add(1)
 			_ = conn.Close() // best-effort teardown of stragglers
 		}
 		c.mu.Unlock()
@@ -206,6 +301,36 @@ func (c *Collector) CloseGrace(grace time.Duration) error {
 	}
 	c.asm.Flush(true)
 	return closeErr
+}
+
+// sessionMessages appends the heartbeat sequence reporting one completed
+// session: Hello → Failed, or Hello → Joined → Progress×steps → End. Both
+// the in-process Emitter and the reconnecting Sender emit exactly this
+// sequence.
+func sessionMessages(dst []Message, s *session.Session, progressEvery int) []Message {
+	dst = append(dst, Message{Kind: KindHello, SessionID: s.ID, Epoch: s.Epoch, Attrs: s.Attrs})
+	if s.QoE.JoinFailed {
+		return append(dst, Message{Kind: KindFailed, SessionID: s.ID})
+	}
+	dst = append(dst, Message{Kind: KindJoined, SessionID: s.ID, JoinTimeMS: s.QoE.JoinTimeMS})
+	steps := progressEvery
+	if steps < 1 {
+		steps = 1
+	}
+	q := s.QoE
+	total := q.DurationS
+	buffering := totalBuffering(q)
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		dst = append(dst, Message{
+			Kind:            KindProgress,
+			SessionID:       s.ID,
+			PlayedS:         total * frac,
+			BufferingS:      buffering * frac,
+			WeightedKbpsSec: q.BitrateKbps * total * frac,
+		})
+	}
+	return append(dst, Message{Kind: KindEnd, SessionID: s.ID, DurationS: total})
 }
 
 // Emitter is the client-side measurement module: it reports one session's
@@ -219,41 +344,19 @@ type Emitter struct {
 	// Pace inserts a real-time delay between heartbeats (demos; zero for
 	// tests and bulk replay).
 	Pace time.Duration
+
+	msgs []Message
 }
 
 // EmitSession reports a completed session as its heartbeat sequence.
 func (e *Emitter) EmitSession(s *session.Session) error {
-	hello := Message{Kind: KindHello, SessionID: s.ID, Epoch: s.Epoch, Attrs: s.Attrs}
-	if err := e.send(&hello); err != nil {
-		return err
-	}
-	if s.QoE.JoinFailed {
-		return e.send(&Message{Kind: KindFailed, SessionID: s.ID})
-	}
-	if err := e.send(&Message{Kind: KindJoined, SessionID: s.ID, JoinTimeMS: s.QoE.JoinTimeMS}); err != nil {
-		return err
-	}
-	steps := e.ProgressEvery
-	if steps < 1 {
-		steps = 1
-	}
-	q := s.QoE
-	total := q.DurationS
-	buffering := totalBuffering(q)
-	for i := 1; i <= steps; i++ {
-		frac := float64(i) / float64(steps)
-		msg := Message{
-			Kind:            KindProgress,
-			SessionID:       s.ID,
-			PlayedS:         total * frac,
-			BufferingS:      buffering * frac,
-			WeightedKbpsSec: q.BitrateKbps * total * frac,
-		}
-		if err := e.send(&msg); err != nil {
+	e.msgs = sessionMessages(e.msgs[:0], s, e.ProgressEvery)
+	for i := range e.msgs {
+		if err := e.send(&e.msgs[i]); err != nil {
 			return err
 		}
 	}
-	return e.send(&Message{Kind: KindEnd, SessionID: s.ID, DurationS: total})
+	return nil
 }
 
 func totalBuffering(q metric.QoE) float64 {

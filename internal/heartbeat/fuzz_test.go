@@ -19,7 +19,7 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(frame[4:]) // payload without the length prefix
+		f.Add(frame[4 : len(frame)-4]) // payload without length prefix or checksum
 	}
 	f.Add([]byte{})
 	f.Add([]byte{9, 9, 9})
@@ -35,7 +35,7 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decoded message failed to encode: %v", err)
 		}
 		var back Message
-		if err := Decode(frame[4:], &back); err != nil {
+		if err := Decode(frame[4:len(frame)-4], &back); err != nil {
 			t.Fatalf("re-encoded message failed to decode: %v", err)
 		}
 		frame2, err := Append(nil, &back)

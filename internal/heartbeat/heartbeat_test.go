@@ -241,8 +241,13 @@ func TestAssemblerProtocolErrors(t *testing.T) {
 	if err := asm.Handle(&hello); err != nil {
 		t.Fatal(err)
 	}
-	if err := asm.Handle(&hello); err == nil {
-		t.Error("duplicate Hello accepted")
+	// Re-Hello with identical identity is a sender replay: idempotent.
+	if err := asm.Handle(&hello); err != nil {
+		t.Errorf("idempotent re-Hello rejected: %v", err)
+	}
+	conflicting := Message{Kind: KindHello, SessionID: 1, Epoch: 9}
+	if err := asm.Handle(&conflicting); err == nil {
+		t.Error("conflicting Hello accepted")
 	}
 	if err := asm.Handle(&Message{Kind: KindProgress, SessionID: 1}); err == nil {
 		t.Error("Progress before Joined accepted")

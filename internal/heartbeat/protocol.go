@@ -6,9 +6,12 @@
 // video ever renders (paper §2, footnote 1).
 //
 // The wire protocol is length-prefixed binary over any stream transport
-// (TCP in production, net.Pipe in tests):
+// (TCP in production, net.Pipe in tests). Every frame carries a CRC-32C of
+// its payload so in-flight corruption is detected at the framing layer —
+// a corrupt frame can drop a connection, but it can never misparse into a
+// phantom session:
 //
-//	frame  := u32 payload-length, payload
+//	frame  := u32 payload-length, payload, u32 crc32c(payload)
 //	payload:= u8 type, u64 session-id, fields…
 //
 //	Hello    (1): i32 epoch, 7×i32 attributes
@@ -26,12 +29,17 @@ package heartbeat
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"repro/internal/attr"
 	"repro/internal/epoch"
 )
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the collector runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Kind identifies a heartbeat message type.
 type Kind uint8
@@ -116,7 +124,10 @@ func Append(dst []byte, m *Message) ([]byte, error) {
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
 	dst = append(dst, lenBuf[:]...)
-	return append(dst, payload[:n]...), nil
+	dst = append(dst, payload[:n]...)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload[:n], crcTable))
+	return append(dst, crcBuf[:]...), nil
 }
 
 // Decode parses one payload (without the length prefix).
@@ -219,6 +230,13 @@ func (hr *Reader) Read(m *Message) error {
 	}
 	if _, err := io.ReadFull(hr.r, hr.buf[:n]); err != nil {
 		return fmt.Errorf("heartbeat: reading frame body: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(hr.r, crcBuf[:]); err != nil {
+		return fmt.Errorf("heartbeat: reading frame checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(hr.buf[:n], crcTable), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return fmt.Errorf("heartbeat: frame checksum mismatch (%#x != %#x): corrupt stream", got, want)
 	}
 	return Decode(hr.buf[:n], m)
 }

@@ -1,0 +1,268 @@
+package heartbeat
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/stats"
+)
+
+// ErrSenderClosed is returned by Send after Close.
+var ErrSenderClosed = errors.New("heartbeat: sender closed")
+
+// SenderConfig shapes the reconnect behaviour of a Sender.
+type SenderConfig struct {
+	// BaseBackoff is the delay before the first retry (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// MaxAttempts bounds connection/write attempts per Send, counting the
+	// first (default 8). A Send that exhausts them is abandoned.
+	MaxAttempts int
+	// Jitter is the fraction of each backoff that is randomized (default
+	// 0.5): sleep = d*(1-Jitter/2) + uniform(0, d*Jitter). Jitter keeps a
+	// fleet of players reconnecting to a restarted collector from
+	// thundering in lockstep.
+	Jitter float64
+	// Seed makes the jitter stream deterministic (tests); the zero seed is
+	// fine for production, determinism just isn't guaranteed across
+	// senders then.
+	Seed uint64
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Jitter <= 0 || c.Jitter > 1 {
+		c.Jitter = 0.5
+	}
+	return c
+}
+
+// SenderStats snapshots a sender's delivery counters.
+type SenderStats struct {
+	// Sent counts frames written successfully (including replays).
+	Sent int64
+	// Reconnects counts re-dials after a connection was lost.
+	Reconnects int64
+	// Replays counts reconnects that re-sent session state (Hello/Joined).
+	Replays int64
+	// Abandoned counts Sends that exhausted MaxAttempts.
+	Abandoned int64
+}
+
+// Sender is the fault-tolerant client side of the heartbeat channel: it
+// reports one session at a time (like Emitter) but survives connection
+// loss and collector restarts. On a write failure it reconnects with
+// exponential backoff plus jitter and replays the active session's Hello
+// (and Joined, if playback had started) so the collector can re-establish
+// the session — the paper's measurement channel kept reporting through the
+// very pathologies it measured, and so does this one.
+//
+// Sender is safe for use from one goroutine per instance; Close may be
+// called concurrently and interrupts an in-flight backoff.
+type Sender struct {
+	dial func() (net.Conn, error)
+	cfg  SenderConfig
+	// Logf receives reconnect/abandon diagnostics (nil silences).
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	conn      net.Conn
+	w         *Writer
+	replay    []Message
+	rng       *stats.RNG
+	connected bool // a connection has succeeded at least once
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	sent, reconnects, replays, abandoned atomic.Int64
+}
+
+// NewSender builds a sender that obtains connections from dial. Dialing is
+// lazy: the first Send connects.
+func NewSender(dial func() (net.Conn, error), cfg SenderConfig) *Sender {
+	cfg = cfg.withDefaults()
+	return &Sender{
+		dial: dial,
+		cfg:  cfg,
+		rng:  stats.NewRNG(cfg.Seed).Split(0x5E4D),
+		done: make(chan struct{}),
+	}
+}
+
+// DialSender is NewSender over plain TCP to addr.
+func DialSender(addr string, cfg SenderConfig) *Sender {
+	return NewSender(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, cfg)
+}
+
+// Stats snapshots the sender counters.
+func (s *Sender) Stats() SenderStats {
+	return SenderStats{
+		Sent:       s.sent.Load(),
+		Reconnects: s.reconnects.Load(),
+		Replays:    s.replays.Load(),
+		Abandoned:  s.abandoned.Load(),
+	}
+}
+
+// Send delivers one heartbeat, reconnecting and replaying session state as
+// needed. It returns nil once the frame is written to a connection, an
+// error once MaxAttempts is exhausted, and ErrSenderClosed if the sender is
+// (or becomes) closed.
+func (s *Sender) Send(m *Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isClosed() {
+		return ErrSenderClosed
+	}
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 && !s.backoffLocked(attempt) {
+			return ErrSenderClosed
+		}
+		if s.conn == nil && !s.connectLocked() {
+			continue
+		}
+		if err := s.w.Write(m); err != nil {
+			s.dropConnLocked(err)
+			continue
+		}
+		s.sent.Add(1)
+		s.trackLocked(m)
+		return nil
+	}
+	s.abandoned.Add(1)
+	if s.Logf != nil {
+		s.Logf("heartbeat: sender abandoned %v for session %d after %d attempts", m.Kind, m.SessionID, s.cfg.MaxAttempts)
+	}
+	return fmt.Errorf("heartbeat: send abandoned after %d attempts", s.cfg.MaxAttempts)
+}
+
+// EmitSession reports a completed session as its heartbeat sequence with
+// progressEvery cumulative progress reports (minimum 1).
+func (s *Sender) EmitSession(sess *session.Session, progressEvery int) error {
+	msgs := sessionMessages(nil, sess, progressEvery)
+	for i := range msgs {
+		if err := s.Send(&msgs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close interrupts any in-flight backoff and tears down the connection.
+func (s *Sender) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn, s.w = nil, nil
+		return err
+	}
+	return nil
+}
+
+func (s *Sender) isClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// connectLocked dials and replays the active session's state. It reports
+// whether the sender holds a usable connection afterwards.
+func (s *Sender) connectLocked() bool {
+	conn, err := s.dial()
+	if err != nil {
+		if s.Logf != nil {
+			s.Logf("heartbeat: sender dial: %v", err)
+		}
+		return false
+	}
+	if s.connected {
+		s.reconnects.Add(1)
+	}
+	s.connected = true
+	s.conn, s.w = conn, NewWriter(conn)
+	if len(s.replay) == 0 {
+		return true
+	}
+	// Re-Hello (and re-Joined): the collector may have restarted, or may
+	// have salvaged the session already — its dedup window makes replays
+	// idempotent either way.
+	for i := range s.replay {
+		if err := s.w.Write(&s.replay[i]); err != nil {
+			s.dropConnLocked(err)
+			return false
+		}
+		s.sent.Add(1)
+	}
+	s.replays.Add(1)
+	return true
+}
+
+func (s *Sender) dropConnLocked(err error) {
+	if s.Logf != nil {
+		s.Logf("heartbeat: sender write: %v (reconnecting)", err)
+	}
+	if s.conn != nil {
+		_ = s.conn.Close() // the write error is the one that matters
+	}
+	s.conn, s.w = nil, nil
+}
+
+// trackLocked maintains the replay state after a successful write: Hello
+// opens a session, Joined extends its replayable prefix, End/Failed retire
+// it. Progress is deliberately not replayed — it is cumulative and End
+// carries the authoritative totals.
+func (s *Sender) trackLocked(m *Message) {
+	switch m.Kind {
+	case KindHello:
+		s.replay = append(s.replay[:0], *m)
+	case KindJoined:
+		if len(s.replay) == 1 && s.replay[0].Kind == KindHello {
+			s.replay = append(s.replay, *m)
+		}
+	case KindEnd, KindFailed:
+		s.replay = s.replay[:0]
+	}
+}
+
+// backoffLocked sleeps the exponential-with-jitter delay for the given
+// attempt (1-based), returning false if the sender closed while waiting.
+// The sender lock stays held: a Sender serializes its frames by design, so
+// nothing useful could interleave anyway.
+func (s *Sender) backoffLocked(attempt int) bool {
+	d := s.cfg.BaseBackoff << (attempt - 1)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	j := s.cfg.Jitter
+	sleep := time.Duration(float64(d) * (1 - j/2 + j*s.rng.Float64()))
+	t := time.NewTimer(sleep)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
+	}
+}

@@ -1,0 +1,110 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/session"
+)
+
+// Spool is the bounded buffer between the assembler's emit callback and a
+// slow sink (the trace writer). The assembler emits while holding
+// per-connection handlers' time; blocking there on a stalled disk would
+// backpressure the whole accept plane. The spool instead degrades
+// explicitly: when the buffer is full the session is shed and counted, so
+// ingestion stays live and the loss is visible in the accounting (sessions
+// delivered + shed always sums to sessions emitted).
+type Spool struct {
+	ch   chan session.Session
+	sink func(session.Session)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted  atomic.Int64
+	shed      atomic.Int64
+	delivered atomic.Int64
+}
+
+// SpoolStats snapshots the spool's accounting.
+type SpoolStats struct {
+	// Accepted counts sessions buffered for delivery.
+	Accepted int64
+	// Shed counts sessions dropped because the buffer was full (or the
+	// spool already closed). Shed + Accepted = sessions offered.
+	Shed int64
+	// Delivered counts sessions the sink has consumed.
+	Delivered int64
+}
+
+// NewSpool starts a spool delivering to sink from a single goroutine (so a
+// sink like trace.Writer needs no locking of its own for spool traffic).
+// capacity bounds the in-flight buffer (default 1024).
+func NewSpool(capacity int, sink func(session.Session)) *Spool {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	sp := &Spool{ch: make(chan session.Session, capacity), sink: sink}
+	sp.wg.Add(1)
+	go sp.run()
+	return sp
+}
+
+func (sp *Spool) run() {
+	defer sp.wg.Done()
+	for s := range sp.ch {
+		sp.sink(s)
+		sp.delivered.Add(1)
+	}
+}
+
+// Emit offers one session; it never blocks. A full buffer sheds the
+// session and counts it.
+func (sp *Spool) Emit(s session.Session) {
+	if sp.tryBuffer(s) {
+		sp.accepted.Add(1)
+	} else {
+		sp.shed.Add(1)
+	}
+}
+
+// tryBuffer enqueues s unless the spool is closed or full. The lock only
+// fences the closed flag against a concurrent Close (sending on a closed
+// channel would panic); the channel send itself never blocks.
+func (sp *Spool) tryBuffer(s session.Session) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return false
+	}
+	select {
+	case sp.ch <- s:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the buffered sessions through the sink and stops the
+// delivery goroutine. Sessions offered after Close are shed.
+func (sp *Spool) Close() {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.closed = true
+	close(sp.ch)
+	sp.mu.Unlock()
+	sp.wg.Wait()
+}
+
+// Stats snapshots the spool counters.
+func (sp *Spool) Stats() SpoolStats {
+	return SpoolStats{
+		Accepted:  sp.accepted.Load(),
+		Shed:      sp.shed.Load(),
+		Delivered: sp.delivered.Load(),
+	}
+}

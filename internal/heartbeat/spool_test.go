@@ -1,0 +1,83 @@
+package heartbeat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/testutil"
+)
+
+func TestSpoolDeliversInOrder(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+	var got []uint64
+	sp := NewSpool(16, func(s session.Session) { got = append(got, s.ID) })
+	for i := uint64(1); i <= 10; i++ {
+		sp.Emit(session.Session{ID: i})
+	}
+	sp.Close()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+	st := sp.Stats()
+	if st.Accepted != 10 || st.Delivered != 10 || st.Shed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSpoolShedsInsteadOfBlocking(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	delivered := 0
+	sp := NewSpool(2, func(session.Session) {
+		<-release // a stalled sink (disk hiccup)
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	// Capacity 2 plus the one the sink goroutine has already taken: every
+	// Emit must return immediately whether buffered or shed.
+	const offered = 20
+	start := time.Now()
+	for i := 0; i < offered; i++ {
+		sp.Emit(session.Session{ID: uint64(i)})
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Emit blocked for %v with a stalled sink", elapsed)
+	}
+	close(release)
+	sp.Close()
+	st := sp.Stats()
+	if st.Shed == 0 {
+		t.Fatal("nothing shed despite a full buffer")
+	}
+	if st.Accepted+st.Shed != offered {
+		t.Fatalf("accepted %d + shed %d != offered %d", st.Accepted, st.Shed, offered)
+	}
+	if st.Delivered != st.Accepted {
+		t.Fatalf("delivered %d != accepted %d after Close drain", st.Delivered, st.Accepted)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(delivered) != st.Delivered {
+		t.Fatalf("sink saw %d, counter says %d", delivered, st.Delivered)
+	}
+}
+
+func TestSpoolEmitAfterCloseSheds(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+	sp := NewSpool(4, func(session.Session) {})
+	sp.Close()
+	sp.Close() // idempotent
+	sp.Emit(session.Session{ID: 1})
+	if st := sp.Stats(); st.Shed != 1 || st.Accepted != 0 {
+		t.Fatalf("post-close stats = %+v", st)
+	}
+}

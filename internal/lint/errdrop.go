@@ -13,6 +13,12 @@ import (
 // and conventionally error-free sinks (strings.Builder, bytes.Buffer, the
 // fmt print family writing to the terminal) are exempt. Test files are not
 // analyzed at all.
+//
+// One deferred call is NOT exempt: `defer f.Sync()` on an *os.File. Unlike
+// Close-on-cleanup, Sync exists solely to report whether data reached
+// stable storage — deferring it throws the durability verdict away, which
+// is how a crash-safe writer silently stops being crash-safe. Sync
+// explicitly (checking the error) or drop it.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "call statement discards an error result",
@@ -22,12 +28,23 @@ var ErrDrop = &Analyzer{
 func runErrDrop(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
-			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				// Deferred cleanup is exempt in general, but a deferred
+				// file Sync discards the one error that says whether the
+				// data is durable.
+				if !isFileSync(p, stmt.Call) {
+					return true
+				}
+				call = stmt.Call
+			default:
 				return true
 			}
 			if !returnsError(p, call) || errExempt(p, call) {
@@ -37,6 +54,28 @@ func runErrDrop(p *Pass) {
 			return true
 		})
 	}
+}
+
+// isFileSync reports whether call is a Sync method call on an *os.File (or
+// os.File) receiver.
+func isFileSync(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
 }
 
 // returnsError reports whether the call's result is, or ends with, an error.

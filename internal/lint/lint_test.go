@@ -445,6 +445,41 @@ func drop(f *os.File) {
 `,
 			want: nil,
 		},
+		{
+			name:     "errdrop deferred file sync positive",
+			analyzer: ErrDrop,
+			src: `package fixture
+import "os"
+func write(f *os.File) {
+	defer f.Sync() // drops the durability verdict
+	defer f.Close()
+}
+`,
+			want: []string{"errdrop"},
+		},
+		{
+			name:     "errdrop deferred sync on non-file negative",
+			analyzer: ErrDrop,
+			src: `package fixture
+type flusher struct{}
+func (flusher) Sync() error { return nil }
+func use(fl flusher) {
+	defer fl.Sync() // only *os.File carries the durability contract
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "errdrop deferred file sync suppressed",
+			analyzer: ErrDrop,
+			src: `package fixture
+import "os"
+func write(f *os.File) {
+	defer f.Sync() //vqlint:ignore errdrop scratch file, durability irrelevant
+}
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {

@@ -77,11 +77,20 @@ type Detector struct {
 	started bool
 	buf     []cluster.Lite
 
+	// MinEpochSessions gates epoch evaluation: an epoch closing with fewer
+	// sessions is treated as an ingestion gap (collector restart, shed
+	// load), not as ground truth. Gap epochs emit no alerts and freeze
+	// streak state — an outage spanning a gap neither resolves spuriously
+	// nor restarts its streak from zero. Zero disables the gate.
+	MinEpochSessions int
+
 	streaks [metric.NumMetrics]map[attr.Key]int
 
-	// Epochs counts completed epochs; Alerts counts emissions.
-	Epochs int
-	Alerts int
+	// Epochs counts completed epochs; Alerts counts emissions; GapEpochs
+	// counts the subset of epochs skipped by the MinEpochSessions gate.
+	Epochs    int
+	Alerts    int
+	GapEpochs int
 }
 
 // NewDetector builds a detector delivering alerts to emit in a
@@ -126,6 +135,16 @@ func (d *Detector) Flush() error {
 }
 
 func (d *Detector) closeEpoch() error {
+	if d.MinEpochSessions > 0 && len(d.buf) < d.MinEpochSessions {
+		// Degraded epoch: too few sessions to trust. Skip evaluation
+		// entirely — emitting "resolved" off a starved epoch would be a
+		// measurement artifact, exactly the failure mode the fault-tolerant
+		// ingestion path is built to avoid.
+		d.buf = d.buf[:0]
+		d.Epochs++
+		d.GapEpochs++
+		return nil
+	}
 	res, err := core.AnalyzeEpoch(d.cur, d.buf, d.cfg)
 	if err != nil {
 		return err

@@ -92,6 +92,69 @@ func TestDetectorAlertsOnOutage(t *testing.T) {
 	}
 }
 
+// TestDetectorToleratesGapEpochs starves one epoch in the middle of an
+// outage (as a collector restart or load shedding would) and checks the
+// degraded-epoch gate: the gap emits nothing, the outage streak survives it
+// instead of spuriously resolving and re-detecting, and the gap is counted.
+func TestDetectorToleratesGapEpochs(t *testing.T) {
+	g, anchor, outage := outageGenerator(t)
+	gapEpoch := epoch.Index(6) // strictly inside [4, 9)
+
+	var alerts []Alert
+	d, err := NewDetector(detectorConfig(2500), func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MinEpochSessions = 100
+
+	// Deliver the trace with the gap epoch starved down to a handful of
+	// sessions — below the gate, above zero (the epoch still "exists").
+	kept := 0
+	if err := g.ForEach(func(s *session.Session) error {
+		if s.Epoch == gapEpoch {
+			if kept >= 10 {
+				return nil
+			}
+			kept++
+		}
+		return d.Add(s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epochs != 12 || d.GapEpochs != 1 {
+		t.Fatalf("epochs = %d, gap epochs = %d; want 12 and 1", d.Epochs, d.GapEpochs)
+	}
+
+	var news, resolves []Alert
+	for _, a := range alerts {
+		if a.Epoch == gapEpoch {
+			t.Fatalf("gap epoch emitted an alert: %+v", a)
+		}
+		if a.Metric != metric.BufRatio || a.Key != anchor {
+			continue
+		}
+		switch a.Kind {
+		case AlertNew:
+			news = append(news, a)
+		case AlertResolved:
+			resolves = append(resolves, a)
+		}
+	}
+	if len(news) != 1 || news[0].Epoch != outage.Start {
+		t.Fatalf("outage detected %d times (%+v); the gap must not restart the streak", len(news), news)
+	}
+	if len(resolves) != 1 || resolves[0].Epoch != outage.End {
+		t.Fatalf("outage resolved %d times (%+v); want once at epoch %d", len(resolves), resolves, outage.End)
+	}
+	// The streak spans the outage minus the frozen gap epoch.
+	if want := outage.Len() - 1; resolves[0].StreakHours != want {
+		t.Fatalf("resolved streak = %d, want %d (gap epoch frozen, not counted)", resolves[0].StreakHours, want)
+	}
+}
+
 func TestDetectorOrderingError(t *testing.T) {
 	d, err := NewDetector(detectorConfig(100), nil)
 	if err != nil {

@@ -75,6 +75,18 @@ type Writer struct {
 	buf    []byte
 	count  uint64
 	closed bool
+
+	// SyncEvery syncs the container to stable storage every this many
+	// records (0 disables record-count syncing). A crash then loses at
+	// most SyncEvery records plus one possibly-torn tail record, which
+	// Reader recovers past.
+	SyncEvery uint64
+	lastSync  uint64
+
+	// finalPath, when set, makes Close rename the underlying file there
+	// (CreateAtomic): readers only ever observe complete containers.
+	finalPath string
+	tempPath  string
 }
 
 // NewWriter writes a trace to w. When compress is set the record stream is
@@ -127,6 +139,29 @@ func Create(path string, h Header) (*Writer, error) {
 	return w, nil
 }
 
+// CreateAtomic is Create with atomic rotation semantics: records stream
+// into path+".partial" and Close renames it to path, so a reader that
+// opens path never sees a half-written container. A crash leaves only the
+// .partial file (recoverable via Open and torn-tail handling); the
+// previous complete trace at path, if any, is untouched until the rename.
+func CreateAtomic(path string, h Header) (*Writer, error) {
+	tmp := path + ".partial"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	// Compression follows the final path's extension, not the temp name.
+	w, err := NewWriter(f, h, hasGzSuffix(path))
+	if err != nil {
+		_ = f.Close() // the header error is the one worth surfacing
+		return nil, err
+	}
+	w.raw = f
+	w.tempPath = tmp
+	w.finalPath = path
+	return w, nil
+}
+
 func hasGzSuffix(path string) bool {
 	return len(path) > 3 && path[len(path)-3:] == ".gz"
 }
@@ -138,7 +173,7 @@ func (w *Writer) sink() io.Writer {
 	return w.bw
 }
 
-// Write appends one session record.
+// Write appends one session record, syncing when SyncEvery is due.
 func (w *Writer) Write(s *session.Session) error {
 	if w.closed {
 		return ErrClosed
@@ -148,6 +183,9 @@ func (w *Writer) Write(s *session.Session) error {
 		return err
 	}
 	w.count++
+	if w.SyncEvery > 0 && w.count-w.lastSync >= w.SyncEvery {
+		return w.Sync()
+	}
 	return nil
 }
 
@@ -164,22 +202,58 @@ func (w *Writer) WriteAll(sessions []session.Session) error {
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint64 { return w.count }
 
-// Close flushes and closes the trace.
-func (w *Writer) Close() error {
+// Sync pushes everything written so far to stable storage: gzip-flush (a
+// decodable sync point), bufio flush, then fsync when the sink is a file.
+// In-memory sinks flush but have nothing to fsync.
+func (w *Writer) Sync() error {
 	if w.closed {
 		return ErrClosed
 	}
-	w.closed = true
 	if w.gz != nil {
-		if err := w.gz.Close(); err != nil {
+		if err := w.gz.Flush(); err != nil {
 			return err
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
+	if f, ok := w.raw.(*os.File); ok {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.lastSync = w.count
+	return nil
+}
+
+// Close flushes, syncs, and closes the trace, then — for CreateAtomic
+// writers — renames the temp file into place so the final path only ever
+// holds a complete container. The pre-close Sync makes a clean shutdown
+// actually durable; without it the data could still be riding the page
+// cache when the process exits.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			w.closed = true
+			return err
+		}
+		w.gz = nil // already closed; Sync below must not flush it again
+	}
+	if err := w.Sync(); err != nil {
+		w.closed = true
+		return err
+	}
+	w.closed = true
 	if w.raw != nil {
-		return w.raw.Close()
+		if err := w.raw.Close(); err != nil {
+			return err
+		}
+	}
+	if w.finalPath != "" {
+		return os.Rename(w.tempPath, w.finalPath)
 	}
 	return nil
 }
@@ -192,6 +266,10 @@ type Reader struct {
 	br     *bufio.Reader
 	buf    []byte
 	closed bool
+
+	// Logf receives the torn-tail warning (nil silences it).
+	Logf func(format string, args ...any)
+	torn bool
 }
 
 // NewReader opens a trace from r.
@@ -266,7 +344,10 @@ func (r *Reader) source() io.Reader {
 }
 
 // Next reads the next session into s. It returns io.EOF at the end of the
-// trace.
+// trace. A torn tail — the stream ending mid-record, as a crashed writer
+// leaves it — is recovered, not fatal: the partial record is skipped with
+// a warning, TornTail is set, and Next reports a clean io.EOF. Everything
+// before the tear has already been returned intact.
 func (r *Reader) Next(s *session.Session) error {
 	if r.closed {
 		return ErrClosed
@@ -276,13 +357,21 @@ func (r *Reader) Next(s *session.Session) error {
 			return io.EOF
 		}
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return fmt.Errorf("trace: truncated record: %w", err)
+			r.torn = true
+			if r.Logf != nil {
+				r.Logf("trace: torn tail record skipped (crashed writer?); sessions before it are intact")
+			}
+			return io.EOF
 		}
 		return err
 	}
 	_, err := session.DecodeBinary(r.buf, s)
 	return err
 }
+
+// TornTail reports whether the stream ended mid-record and the partial
+// tail was skipped.
+func (r *Reader) TornTail() bool { return r.torn }
 
 // ReadAll drains the trace into memory. Intended for laptop-scale traces
 // and tests; large traces should use Next or ForEach.
