@@ -79,6 +79,7 @@ func runDrill(space *attr.Space, path, keyText, metricName string, at int, cfg c
 		return fmt.Errorf("epoch %d has no sessions in %s", at, path)
 	}
 	tbl := cluster.NewTable(epoch.Index(at), lites, cfg.MaxDims)
+	defer tbl.Release()
 	view, err := cluster.BuildView(tbl, m, cfg.Thresholds)
 	if err != nil {
 		return err
@@ -198,7 +199,9 @@ func main() {
 				ratio += float64(ms.GlobalProblems) / float64(ms.GlobalSessions)
 			}
 		}
-		ratio /= float64(len(tr.Epochs))
+		if n := len(tr.Epochs); n > 0 {
+			ratio /= float64(n)
+		}
 		row := rows[m]
 		t.AddRow(m.String(), ratio, row.MeanProblemClusters, row.MeanCriticalClusters,
 			report.Pct(row.MeanProblemCoverage), report.Pct(row.MeanCriticalCoverage))

@@ -4,16 +4,29 @@
 //
 // Usage:
 //
-//	vqlint [-rules floatcmp,maporder,...] [-list] [patterns...]
+//	vqlint [-rules floatcmp,lockbalance,...] [-list]
+//	       [-format text|json|sarif] [-baseline lint-baseline.json]
+//	       [-write-baseline lint-baseline.json] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's shape. Findings print
-// one per line as file:line:col: message [rule]. Suppress a finding with a
-// trailing or preceding comment: //vqlint:ignore <rule> <rationale>.
+// one per line as file:line:col: message [rule] (text), as a {"findings":
+// [...]} document (json), or as a SARIF 2.1.0 log (sarif, for code-scanning
+// upload). Suppress a finding with a trailing or preceding comment
+// //vqlint:ignore <rule> <rationale>, or a //vqlint:ignore-start/-end block.
+//
+// The baseline mechanism grandfathers pre-existing findings during a rule
+// rollout: -write-baseline records the current findings, -baseline filters
+// any finding matching a recorded one (same rule, file, and message —
+// line and column are ignored so unrelated edits don't resurrect them).
+// The committed lint-baseline.json is empty and CI asserts it stays that
+// way: new findings must be fixed or suppressed with a rationale, never
+// baselined away silently.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,21 +34,28 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("vqlint", flag.ContinueOnError)
 	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "filter findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc) //vqlint:ignore errdrop terminal output; the exit code is the result
 		}
 		return 0
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "vqlint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 
 	analyzers := lint.All()
@@ -66,12 +86,41 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	findings := toFindings(lint.Run(pkgs, analyzers), cwd)
+
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "vqlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "vqlint: %d finding(s)\n", len(diags))
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			return 2
+		}
+		findings = applyBaseline(findings, base)
+	}
+
+	switch *format {
+	case "json":
+		err = writeJSON(stdout, findings)
+	case "sarif":
+		err = writeSARIF(stdout, findings, analyzers)
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f) //vqlint:ignore errdrop terminal output; the exit code is the result
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vqlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

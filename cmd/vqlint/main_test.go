@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{Rule: "ratioguard", Pos: token.Position{Filename: "/work/internal/metric/counts.go", Line: 12, Column: 9}, Msg: "division by n is not dominated by a non-zero guard on every path"},
+		{Rule: "lockbalance", Pos: token.Position{Filename: "/work/internal/collector/collector.go", Line: 40, Column: 2}, Msg: "mu reaches this return still locked"},
+	}
+}
+
+func TestToFindingsRelativizes(t *testing.T) {
+	fs := toFindings(sampleDiags(), "/work")
+	if got, want := fs[0].File, "internal/metric/counts.go"; got != want {
+		t.Errorf("File = %q, want %q", got, want)
+	}
+	if got, want := fs[0].String(), "internal/metric/counts.go:12:9: division by n is not dominated by a non-zero guard on every path [ratioguard]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// A file outside cwd stays as-is rather than sprouting ../ chains that
+	// differ between checkouts.
+	out := toFindings([]lint.Diagnostic{{Rule: "x", Pos: token.Position{Filename: "/elsewhere/a.go"}}}, "/work")
+	if !strings.Contains(out[0].File, "..") && out[0].File != "/elsewhere/a.go" {
+		t.Errorf("out-of-tree file mangled: %q", out[0].File)
+	}
+}
+
+func TestBaselineRoundTripAndMatching(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	fs := toFindings(sampleDiags(), "/work")
+	if err := saveBaseline(path, fs); err != nil {
+		t.Fatalf("saveBaseline: %v", err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("round-tripped %d findings, want 2", len(base))
+	}
+
+	// The same findings at different lines are still matched (line and
+	// column are ignored) …
+	moved := make([]finding, len(fs))
+	copy(moved, fs)
+	moved[0].Line, moved[1].Line = 99, 77
+	if kept := applyBaseline(moved, base); len(kept) != 0 {
+		t.Errorf("baseline missed moved findings: %v", kept)
+	}
+	// … but a message or file change makes the finding new.
+	changed := make([]finding, len(fs))
+	copy(changed, fs)
+	changed[0].Msg = "division by m is not dominated by a non-zero guard on every path"
+	if kept := applyBaseline(changed, base); len(kept) != 1 || kept[0].Rule != "ratioguard" {
+		t.Errorf("changed finding not kept: %v", kept)
+	}
+	// A second identical finding exceeds the baseline's budget for that key
+	// and must surface.
+	dup := append(append([]finding{}, fs...), fs[0])
+	if kept := applyBaseline(dup, base); len(kept) != 1 {
+		t.Errorf("duplicate beyond the baseline budget not kept: %v", kept)
+	}
+}
+
+func TestSaveBaselineEmptyShape(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	if err := saveBaseline(path, nil); err != nil {
+		t.Fatalf("saveBaseline: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []finding `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty baseline is not valid JSON: %v", err)
+	}
+	if doc.Findings == nil || len(doc.Findings) != 0 {
+		t.Errorf("empty baseline must serialize findings as [], got %s", data)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, toFindings(sampleDiags(), "/work")); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []finding `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Findings) != 2 || doc.Findings[1].Rule != "lockbalance" {
+		t.Errorf("unexpected document: %s", buf.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, toFindings(sampleDiags(), "/work"), lint.All()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: %s", buf.String())
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "vqlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule %s missing from driver metadata", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "ratioguard" || r0.Level != "error" {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/metric/counts.go" || loc.Region.StartLine != 12 {
+		t.Errorf("result 0 location = %+v", loc)
+	}
+}
+
+// TestRunListAndBadFlags covers the CLI surface that needs no repository
+// load.
+func TestRunListAndBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-list"}, &buf); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard", "floatcmp"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-list output missing %s", want)
+		}
+	}
+	if code := run([]string{"-format", "yaml"}, &buf); code != 2 {
+		t.Errorf("bad -format exit = %d, want 2", code)
+	}
+	if code := run([]string{"-rules", "nosuchrule"}, &buf); code != 2 {
+		t.Errorf("bad -rules exit = %d, want 2", code)
+	}
+}

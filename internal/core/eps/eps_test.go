@@ -43,6 +43,25 @@ func TestZero(t *testing.T) {
 	}
 }
 
+func TestDiv(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{6, 3, 2},
+		{1, 4, 0.25},
+		{0, 5, 0},
+		// Starved denominators: the share of an empty population is zero.
+		{7, 0, 0},
+		{7, 1e-13, 0},
+		{-3, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Div(c.a, c.b); got != c.want { //vqlint:ignore floatcmp exact expected values by construction
+			t.Errorf("Div(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
 // TestOrderedComparisons pins the semantics the classifier depends on: GT is
 // "exceeds the threshold" (boundary excluded), GTE is "at least the
 // threshold" (boundary included), each tolerant of one-ulp noise.

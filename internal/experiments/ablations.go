@@ -213,6 +213,11 @@ type ThresholdSweepRow struct {
 func (s *Suite) ThresholdSweep(w io.Writer) ([]ThresholdSweepRow, error) {
 	var rows []ThresholdSweepRow
 	sample := sampleEpochs(s.Week1.Trace, 12)
+	if len(sample) == 0 {
+		// An empty trace has no epochs to re-analyse; without this guard the
+		// per-row means below divide by zero and go NaN.
+		return rows, nil
+	}
 	for _, alt := range []struct {
 		factor float64
 		bufCut float64
@@ -348,6 +353,11 @@ type HiddenAttrResult struct {
 func (s *Suite) HideAttribute(w io.Writer, d attr.Dim) (HiddenAttrResult, error) {
 	out := HiddenAttrResult{Dim: d}
 	sample := sampleEpochs(s.Week1.Trace, 12)
+	if len(sample) == 0 {
+		// A trace with no epochs has nothing to ablate; without this guard
+		// the coverage means below divide by zero and go NaN.
+		return out, nil
+	}
 	m := metric.BufRatio
 	var full, hidden float64
 	for _, e := range sample {

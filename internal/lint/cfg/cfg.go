@@ -1,0 +1,510 @@
+// Package cfg builds per-function control-flow graphs for the repo's
+// static-analysis rules (internal/lint). The syntactic walkers of vqlint v1
+// could not see that a `return` inside a reconnect branch skips a `Release`,
+// or that a division is only reached on the branch where its denominator was
+// tested — every rule that needs "on every path" or "dominated by a test"
+// semantics builds on this package instead.
+//
+// The graph is deliberately small: blocks hold the atomic statements and
+// condition expressions they execute, in order, and edges carry just enough
+// structure for branch-sensitive dataflow (a Cond block's first successor is
+// the true edge, its second the false edge). The builder handles the full
+// statement language: if/else chains, all three for-loop forms and range
+// loops, switch/type-switch with fallthrough, select with and without
+// default, defer, goto and labeled break/continue, and terminators (return,
+// panic, os.Exit, log.Fatal*).
+//
+// Panic-shaped terminators end their block with no successors: obligations
+// checked at function exit (releases, unlocks) are deliberately not demanded
+// on panicking paths, matching the analyzers' "panic-free paths" contract.
+// Nested function literals are opaque — each literal is its own function
+// with its own graph.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Branch classifies how control leaves a block.
+type Branch uint8
+
+const (
+	// Seq blocks have zero or one successor, taken unconditionally. Zero
+	// successors means the block terminates (return edges go to Exit;
+	// panic-shaped terminators simply end).
+	Seq Branch = iota
+	// Cond blocks end in a two-way test: Succs[0] is the true edge,
+	// Succs[1] the false edge, and Cond holds the tested expression.
+	Cond
+	// Multi blocks dispatch to several successors with no expression the
+	// analyzers can refine on: switch and select heads, and range loops
+	// (Succs[0] = iterate, Succs[1] = done).
+	Multi
+)
+
+// Block is one straight-line region: its Nodes execute in order with no
+// internal control transfer.
+//
+// Nodes holds atomic statements (assignments, calls, defer/go, returns,
+// declarations, sends, inc/dec) and bare expressions (if/for conditions,
+// switch tags, range operands — recorded so dataflow sees their reads). A
+// *ast.RangeStmt appearing as a node stands for the per-iteration key/value
+// binding only; analyzers must not descend into its X or Body fields.
+type Block struct {
+	Index  int
+	Nodes  []ast.Node
+	Branch Branch
+	// Cond is the tested expression of a Cond block, nil otherwise.
+	Cond  ast.Expr
+	Succs []*Block
+	Preds []*Block
+
+	// unreachable marks blocks synthesized after a terminator (dead code
+	// anchors); they keep the builder simple and are skipped by Reachable.
+	unreachable bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single normal-exit block: every return and every
+	// fall-off-the-end path has an edge to it. Panic-shaped terminators do
+	// not — their blocks simply have no successors.
+	Exit *Block
+	// End is the closing brace of the function body, used by analyzers to
+	// position fall-off-the-end diagnostics.
+	End token.Pos
+}
+
+// New builds the graph of one function body. fn is the *ast.FuncDecl or
+// *ast.FuncLit that owns body; it is retained only for error positions.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{End: body.Rbrace}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*labelTarget)
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Reachable returns the blocks reachable from Entry, in a deterministic
+// breadth-first order. Dead-code anchor blocks and code after terminators
+// never appear.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	queue := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	var out []*Block
+	for len(queue) > 0 {
+		bl := queue[0]
+		queue = queue[1:]
+		out = append(out, bl)
+		for _, s := range bl.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return out
+}
+
+// labelTarget resolves one label: the block a goto jumps to, plus the
+// break/continue targets when the label names a loop, switch, or select.
+type labelTarget struct {
+	block      *Block // goto target (also the fall-in entry)
+	breakTo    *Block
+	continueTo *Block
+}
+
+// frame is one enclosing breakable construct. continueTo is nil for switch
+// and select frames, so continue correctly skips past them to the nearest
+// loop.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*labelTarget
+	// pendingLabel is the label of the statement being built, claimed by
+	// the loop/switch/select builders for their break/continue frames.
+	pendingLabel string
+	// fallthroughTo is the next case body while building a switch clause.
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// terminate ends the current block (its edges are already in place) and
+// parks the builder on a fresh dead-code anchor.
+func (b *builder) terminate() {
+	dead := b.newBlock()
+	dead.unreachable = true
+	b.cur = dead
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than a labeled loop/switch/select consumes the
+	// pending label without binding break/continue to it.
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		b.pendingLabel = ""
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		head.Branch, head.Cond = Cond, s.Cond
+		then := b.newBlock()
+		done := b.newBlock()
+		b.edge(head, then) // Succs[0]: condition true
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els) // Succs[1]: condition false
+			b.cur = then
+			b.stmt(s.Body)
+			b.edge(b.cur, done)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		} else {
+			b.edge(head, done) // Succs[1]: condition false
+			b.cur = then
+			b.stmt(s.Body)
+			b.edge(b.cur, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Branch, head.Cond = Cond, s.Cond
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body) // true
+			b.edge(head, done) // false
+		} else {
+			// Infinite loop: the only way to done is break.
+			b.edge(head, body)
+		}
+		continueTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			continueTo = post
+		}
+		if label != "" {
+			b.labels[label].breakTo = done
+			b.labels[label].continueTo = continueTo
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X) // the range operand is evaluated once, before the loop
+		head := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.edge(b.cur, head)
+		head.Branch = Multi
+		b.edge(head, body) // Succs[0]: next element
+		b.edge(head, done) // Succs[1]: exhausted
+		if label != "" {
+			b.labels[label].breakTo = done
+			b.labels[label].continueTo = head
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: head})
+		b.cur = body
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// binding (see Block.Nodes).
+		if s.Key != nil || s.Value != nil {
+			b.add(s)
+		}
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Tag)
+		b.switchClauses(label, s.Body.List, func(c *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+			return c.List, c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(c *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+			return c.List, c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		head.Branch = Multi
+		done := b.newBlock()
+		if label != "" {
+			b.labels[label].breakTo = done
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: done})
+		anyClause := false
+		for _, c := range s.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyClause = true
+			body := b.newBlock()
+			b.edge(head, body)
+			b.cur = body
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, done)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !anyClause {
+			// select{} blocks forever: no successors at all.
+			b.terminate()
+			return
+		}
+		b.cur = done
+
+	case *ast.LabeledStmt:
+		lt := b.labelFor(s.Label.Name)
+		b.edge(b.cur, lt.block)
+		b.cur = lt.block
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if to := b.branchTarget(s.Label, false); to != nil {
+				b.add(s)
+				b.edge(b.cur, to)
+				b.terminate()
+			}
+		case token.CONTINUE:
+			if to := b.branchTarget(s.Label, true); to != nil {
+				b.add(s)
+				b.edge(b.cur, to)
+				b.terminate()
+			}
+		case token.GOTO:
+			b.add(s)
+			b.edge(b.cur, b.labelFor(s.Label.Name).block)
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(b.cur, b.fallthroughTo)
+				b.terminate()
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			// panic / os.Exit / log.Fatal*: the path ends here, with no
+			// normal-exit edge (see the package comment).
+			b.terminate()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec: atomic.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the shared switch/type-switch shape: one Multi head
+// dispatching to a body block per clause, fallthrough edges between
+// consecutive bodies, and a done block that also receives the head's edge
+// when no default clause exists. Case expressions are recorded in the head
+// (they are all evaluated there, in order, as far as dataflow cares).
+func (b *builder) switchClauses(label string, clauses []ast.Stmt, split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool)) {
+	head := b.cur
+	head.Branch = Multi
+	done := b.newBlock()
+	if label != "" {
+		b.labels[label].breakTo = done
+	}
+
+	type clauseInfo struct {
+		body  []ast.Stmt
+		block *Block
+	}
+	var infos []clauseInfo
+	hasDefault := false
+	for _, raw := range clauses {
+		c, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		exprs, body, isDefault := split(c)
+		for _, e := range exprs {
+			head.Nodes = append(head.Nodes, e)
+		}
+		if isDefault {
+			hasDefault = true
+		}
+		infos = append(infos, clauseInfo{body: body, block: b.newBlock()})
+	}
+	for _, info := range infos {
+		b.edge(head, info.block)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	for i, info := range infos {
+		b.fallthroughTo = nil
+		if i+1 < len(infos) {
+			b.fallthroughTo = infos[i+1].block
+		}
+		b.cur = info.block
+		b.stmtList(info.body)
+		b.edge(b.cur, done)
+	}
+	b.fallthroughTo = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// labelFor returns (creating on first use, so forward gotos work) the
+// target record of a label.
+func (b *builder) labelFor(name string) *labelTarget {
+	lt := b.labels[name]
+	if lt == nil {
+		lt = &labelTarget{block: b.newBlock()}
+		b.labels[name] = lt
+	}
+	return lt
+}
+
+// branchTarget resolves break (wantContinue=false) or continue
+// (wantContinue=true), labeled or not, to its destination block.
+func (b *builder) branchTarget(label *ast.Ident, wantContinue bool) *Block {
+	if label != nil {
+		lt := b.labels[label.Name]
+		if lt == nil {
+			return nil
+		}
+		if wantContinue {
+			return lt.continueTo
+		}
+		return lt.breakTo
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if wantContinue {
+			if f.continueTo != nil {
+				return f.continueTo
+			}
+			continue // switch/select frames are transparent to continue
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+// isTerminalCall reports whether a call statement never returns: the panic
+// builtin, os.Exit, or the log.Fatal family. The test is syntactic — the
+// lint loader does not hand cfg a types.Info — but shadowing `os` or `log`
+// locally is not an idiom this repository has or wants.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

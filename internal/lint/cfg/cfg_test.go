@@ -1,0 +1,507 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses "package p\n" + src and builds the CFG of the first
+// function declaration. The builder is purely syntactic, so no type
+// checking is needed.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("fixture has no function declaration")
+	return nil
+}
+
+// callName renders the callee of a call statement ("work", "os.Exit").
+func callName(n ast.Node) string {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return pkg.Name + "." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+// callBlock finds the reachable block containing a call statement to name.
+func callBlock(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if callName(n) == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no reachable block calls %s()", name)
+	return nil
+}
+
+// hasCall reports whether any reachable block calls name.
+func hasCall(g *Graph, name string) bool {
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if callName(n) == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// branchBlock finds the reachable block containing a break/continue/goto of
+// the given token.
+func branchBlock(t *testing.T, g *Graph, tok token.Token) *Block {
+	t.Helper()
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == tok {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no reachable block holds a %s statement", tok)
+	return nil
+}
+
+// reaches reports whether to is reachable from from by following one or
+// more edges — a block reaches itself only through a cycle.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	queue := append([]*Block{}, from.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == to {
+			return true
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+	tail()
+}`)
+	var head *Block
+	for _, bl := range g.Reachable() {
+		if bl.Branch == Cond {
+			head = bl
+			break
+		}
+	}
+	if head == nil || head.Cond == nil {
+		t.Fatal("no Cond block with a condition expression")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("Cond block has %d successors, want 2", len(head.Succs))
+	}
+	if head.Succs[0] != callBlock(t, g, "a") {
+		t.Error("Succs[0] of the if head is not the then-branch (true edge contract)")
+	}
+	if head.Succs[1] != callBlock(t, g, "b") {
+		t.Error("Succs[1] of the if head is not the else-branch (false edge contract)")
+	}
+	tail := callBlock(t, g, "tail")
+	if !reaches(callBlock(t, g, "a"), tail) || !reaches(callBlock(t, g, "b"), tail) {
+		t.Error("both branches must rejoin at the statement after the if")
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+	for i := 0; i < n; i++ {
+		defer cleanup()
+	}
+	tail()
+}`)
+	var deferBlock *Block
+	for _, bl := range g.Reachable() {
+		for _, n := range bl.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlock = bl
+			}
+		}
+	}
+	if deferBlock == nil {
+		t.Fatal("defer statement not recorded in any reachable block")
+	}
+	if !reaches(deferBlock, deferBlock) {
+		t.Error("loop body holding the defer is not on a cycle")
+	}
+	if !reaches(deferBlock, g.Exit) {
+		t.Error("loop body cannot reach the function exit")
+	}
+}
+
+func TestGotoForwardSkipsCode(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		goto cleanup
+	}
+	work()
+cleanup:
+	tail()
+}`)
+	gotoBlock := branchBlock(t, g, token.GOTO)
+	if !reaches(gotoBlock, callBlock(t, g, "tail")) {
+		t.Error("goto cleanup does not reach the labeled statement")
+	}
+	if reaches(gotoBlock, callBlock(t, g, "work")) {
+		t.Error("goto cleanup must jump over work(), not fall into it")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("function exit unreachable")
+	}
+}
+
+func TestGotoBackwardFormsLoop(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+retry:
+	n++
+	if n < 3 {
+		goto retry
+	}
+	tail()
+}`)
+	gotoBlock := branchBlock(t, g, token.GOTO)
+	if !reaches(gotoBlock, gotoBlock) {
+		t.Error("backward goto does not form a cycle")
+	}
+	if !reaches(g.Entry, callBlock(t, g, "tail")) || !reaches(g.Entry, g.Exit) {
+		t.Error("loop exit path is unreachable")
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `func f(m [][]int) {
+outer:
+	for i := 0; i < len(m); i++ {
+		for _, v := range m[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			work()
+		}
+	}
+	tail()
+}`)
+	breakBlock := branchBlock(t, g, token.BREAK)
+	if !reaches(breakBlock, callBlock(t, g, "tail")) {
+		t.Error("break outer does not reach the code after the outer loop")
+	}
+	if reaches(breakBlock, callBlock(t, g, "work")) {
+		t.Error("break outer must leave both loops, yet work() is reachable from it")
+	}
+	contBlock := branchBlock(t, g, token.CONTINUE)
+	if len(contBlock.Succs) != 1 {
+		t.Fatalf("continue block has %d successors, want 1", len(contBlock.Succs))
+	}
+	// continue outer must target the *outer* loop's post statement (i++),
+	// not the inner range head — the distinction a syntactic walker misses.
+	foundInc := false
+	for _, n := range contBlock.Succs[0].Nodes {
+		if _, ok := n.(*ast.IncDecStmt); ok {
+			foundInc = true
+		}
+	}
+	if !foundInc {
+		t.Error("continue outer does not target the outer loop's post block")
+	}
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	g := buildFunc(t, `func f(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		fallback()
+	}
+	tail()
+}`)
+	var head *Block
+	for _, bl := range g.Reachable() {
+		if bl.Branch == Multi {
+			head = bl
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no Multi head for the select")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want one per clause (2)", len(head.Succs))
+	}
+	if head.Succs[0] != callBlock(t, g, "use") || head.Succs[1] != callBlock(t, g, "fallback") {
+		t.Error("select head successors are not the clause bodies in order")
+	}
+	tail := callBlock(t, g, "tail")
+	if !reaches(callBlock(t, g, "use"), tail) || !reaches(callBlock(t, g, "fallback"), tail) {
+		t.Error("both select clauses must rejoin after the select")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	select {}
+	tail()
+}`)
+	if reaches(g.Entry, g.Exit) {
+		t.Error("select{} never proceeds: the exit must be unreachable")
+	}
+	if hasCall(g, "tail") {
+		t.Error("code after select{} is dead and must not be reachable")
+	}
+}
+
+func TestInfiniteForHasNoExit(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	for {
+		work()
+	}
+}`)
+	if reaches(g.Entry, g.Exit) {
+		t.Error("for{} without break must not reach the exit")
+	}
+	wb := callBlock(t, g, "work")
+	if !reaches(wb, wb) {
+		t.Error("infinite loop body is not on a cycle")
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		work()
+	}
+	tail()
+}`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("break must open an exit path out of for{}")
+	}
+	if !reaches(branchBlock(t, g, token.BREAK), callBlock(t, g, "tail")) {
+		t.Error("break does not reach the code after the loop")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	tail()
+}`)
+	var head *Block
+	for _, bl := range g.Reachable() {
+		if bl.Branch == Multi {
+			head = bl
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no Multi head for the switch")
+	}
+	// A default clause exists, so the head dispatches only to the three
+	// clause bodies — no bypass edge to done.
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3 (one per clause, no bypass)", len(head.Succs))
+	}
+	aBlock, bBlock := callBlock(t, g, "a"), callBlock(t, g, "b")
+	direct := false
+	for _, s := range aBlock.Succs {
+		if s == bBlock {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough edge from case 1 to case 2 is missing")
+	}
+	tail := callBlock(t, g, "tail")
+	for _, name := range []string{"a", "b", "c"} {
+		if !reaches(callBlock(t, g, name), tail) {
+			t.Errorf("clause %s() does not rejoin after the switch", name)
+		}
+	}
+}
+
+func TestSwitchWithoutDefaultBypasses(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+	switch x {
+	case 1:
+		a()
+	}
+	tail()
+}`)
+	var head *Block
+	for _, bl := range g.Reachable() {
+		if bl.Branch == Multi {
+			head = bl
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no Multi head for the switch")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("switch head has %d successors, want 2 (clause + bypass)", len(head.Succs))
+	}
+	tail := callBlock(t, g, "tail")
+	bypass := false
+	for _, s := range head.Succs {
+		if s == tail {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Error("switch without default must have a direct edge past the clauses")
+	}
+}
+
+func TestPanicAndExitTerminate(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	tail()
+}`)
+	if n := len(callBlock(t, g, "panic").Succs); n != 0 {
+		t.Errorf("panic block has %d successors, want 0 (no normal-exit edge)", n)
+	}
+	if !reaches(g.Entry, callBlock(t, g, "tail")) || !reaches(g.Entry, g.Exit) {
+		t.Error("the non-panicking path must still reach the exit")
+	}
+
+	g = buildFunc(t, `func f() {
+	os.Exit(1)
+	dead()
+}`)
+	if n := len(callBlock(t, g, "os.Exit").Succs); n != 0 {
+		t.Errorf("os.Exit block has %d successors, want 0", n)
+	}
+	if hasCall(g, "dead") {
+		t.Error("code after os.Exit must be unreachable")
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	g := buildFunc(t, `func f() int {
+	return 1
+	dead()
+}`)
+	if hasCall(g, "dead") {
+		t.Error("statements after return must not appear in any reachable block")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("return must edge to the exit")
+	}
+}
+
+func TestRangeLoopShape(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+	for _, v := range xs {
+		use(v)
+	}
+	tail()
+}`)
+	var head *Block
+	for _, bl := range g.Reachable() {
+		if bl.Branch == Multi {
+			head = bl
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no Multi head for the range loop")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (iterate, done)", len(head.Succs))
+	}
+	body := head.Succs[0]
+	foundBinding := false
+	for _, n := range body.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			foundBinding = true
+		}
+	}
+	if !foundBinding {
+		t.Error("per-iteration binding (the RangeStmt node) missing from the body block")
+	}
+	if body != callBlock(t, g, "use") {
+		t.Error("Succs[0] of the range head is not the loop body")
+	}
+	if head.Succs[1] != callBlock(t, g, "tail") {
+		t.Error("Succs[1] of the range head is not the done block")
+	}
+	if !reaches(body, head) {
+		t.Error("loop body does not edge back to the head")
+	}
+}
+
+func TestReachableDeterministic(t *testing.T) {
+	g := buildFunc(t, `func f(c bool, xs []int) {
+	for _, v := range xs {
+		if c {
+			use(v)
+			continue
+		}
+		work()
+	}
+	tail()
+}`)
+	a, b := g.Reachable(), g.Reachable()
+	if len(a) != len(b) {
+		t.Fatalf("Reachable() returned %d then %d blocks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Reachable() order differs at position %d", i)
+		}
+	}
+}

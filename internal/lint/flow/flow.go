@@ -1,0 +1,136 @@
+// Package flow is a generic dataflow worklist solver over the control-flow
+// graphs of internal/lint/cfg. An analyzer states its problem as a lattice —
+// a state type S, a join, a per-block transfer function — and Solve iterates
+// to the fixed point. The same engine runs forward problems (resource and
+// lock tracking, non-zero facts) and backward problems (liveness of error
+// values); branch-sensitive analyzers additionally refine the state flowing
+// along each outgoing edge of a Cond block (true edge vs false edge).
+//
+// Termination is the analyzer's contract: joins must climb a finite-height
+// lattice (the in-repo analyzers use small clamped intervals and finite
+// variable sets). As a backstop against a buggy lattice looping forever on
+// pathological input, Solve gives up after a generous pass budget and
+// returns the states reached so far — for a may-analysis that is merely
+// conservative, never wrong.
+package flow
+
+import "repro/internal/lint/cfg"
+
+// Problem describes one dataflow analysis over a function's CFG.
+type Problem[S any] struct {
+	// Backward selects the direction: false propagates Entry → Exit along
+	// Succs, true propagates exit-wards states along Preds (with each
+	// block's nodes conceptually processed in reverse by Transfer).
+	Backward bool
+
+	// Boundary produces the state at the analysis boundary: the function
+	// entry for forward problems, every path end for backward problems. It
+	// is called once per seed block and may return shared immutable state —
+	// the solver clones before mutating.
+	Boundary func() S
+
+	// Transfer maps the state entering a block (in flow direction) to the
+	// state leaving it. It receives a clone and may mutate it freely.
+	Transfer func(b *cfg.Block, s S) S
+
+	// Edge, if non-nil, refines the state flowing from `from` to its
+	// successor Succs[succIdx]; forward problems use it to learn from
+	// branch conditions (Succs[0] = condition true, Succs[1] = false on
+	// Cond blocks). It receives a clone and may mutate it. Ignored for
+	// backward problems.
+	Edge func(from *cfg.Block, succIdx int, s S) S
+
+	// Join merges src into dst and returns the result; it may mutate dst
+	// but not src.
+	Join func(dst, src S) S
+
+	Equal func(a, b S) bool
+	Clone func(s S) S
+}
+
+// Result holds the fixed-point states. In[b] is the state entering block b
+// in flow direction: before its first node for forward problems, after its
+// last node for backward problems. Blocks the analysis never reached (dead
+// code, or — backward — blocks with no path to an exit) are absent;
+// analyzers replaying Transfer for reporting skip those.
+type Result[S any] struct {
+	In map[*cfg.Block]S
+}
+
+// maxPasses bounds total block visits (see the package comment). The
+// in-repo lattices converge in a handful of passes; the budget only exists
+// so a lattice bug degrades to a conservative answer instead of a hang.
+const maxPasses = 64
+
+// Solve runs the worklist to a fixed point over g.
+func Solve[S any](g *cfg.Graph, p Problem[S]) Result[S] {
+	in := make(map[*cfg.Block]S, len(g.Blocks))
+	visits := make(map[*cfg.Block]int, len(g.Blocks))
+
+	var queue []*cfg.Block
+	queued := make(map[*cfg.Block]bool, len(g.Blocks))
+	push := func(b *cfg.Block) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+
+	// Seed the boundary. Backward problems flow from every path end: the
+	// Exit block (returns and fall-off) and panic-shaped sinks. Blocks on
+	// cycles with no path to any exit (for {} loops) are additionally
+	// seeded with the boundary state so code inside them is still analyzed.
+	if p.Backward {
+		for _, b := range g.Reachable() {
+			if len(b.Succs) == 0 || b == g.Exit {
+				in[b] = p.Boundary()
+				push(b)
+			}
+		}
+		for _, b := range g.Reachable() {
+			if _, ok := in[b]; !ok {
+				in[b] = p.Boundary()
+				push(b)
+			}
+		}
+	} else {
+		in[g.Entry] = p.Boundary()
+		push(g.Entry)
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		if visits[b]++; visits[b] > maxPasses {
+			continue
+		}
+
+		out := p.Transfer(b, p.Clone(in[b]))
+
+		var flowTo []*cfg.Block
+		if p.Backward {
+			flowTo = b.Preds
+		} else {
+			flowTo = b.Succs
+		}
+		for i, next := range flowTo {
+			s := p.Clone(out)
+			if !p.Backward && p.Edge != nil {
+				s = p.Edge(b, i, s)
+			}
+			old, ok := in[next]
+			if !ok {
+				in[next] = s
+				push(next)
+				continue
+			}
+			merged := p.Join(p.Clone(old), s)
+			if !p.Equal(merged, old) {
+				in[next] = merged
+				push(next)
+			}
+		}
+	}
+	return Result[S]{In: in}
+}

@@ -1,0 +1,279 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// buildFunc parses "package p\n" + src and builds the CFG of the first
+// function declaration.
+func buildFunc(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatal("fixture has no function declaration")
+	return nil
+}
+
+// callsIn collects the callee names of the call statements in a block — the
+// toy "gen set" the test problems are built from.
+func callsIn(b *cfg.Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			out = append(out, id.Name)
+		}
+	}
+	return out
+}
+
+// callBlock finds the reachable block containing a call statement to name.
+func callBlock(t *testing.T, g *cfg.Graph, name string) *cfg.Block {
+	t.Helper()
+	for _, b := range g.Reachable() {
+		for _, c := range callsIn(b) {
+			if c == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no reachable block calls %s()", name)
+	return nil
+}
+
+type set = map[string]bool
+
+func cloneSet(s set) set {
+	c := make(set, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func equalSet(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// The diamond every test below runs on: start() always executes, then
+// exactly one of a()/b(), then tail().
+const diamond = `func f(c bool) {
+	start()
+	if c {
+		a()
+	} else {
+		b()
+	}
+	tail()
+}`
+
+// TestForwardMayUnion: with a union join, the state entering tail() holds
+// every call on *some* path — start, a, and b.
+func TestForwardMayUnion(t *testing.T) {
+	g := buildFunc(t, diamond)
+	res := Solve(g, Problem[set]{
+		Boundary: func() set { return set{} },
+		Transfer: func(b *cfg.Block, s set) set {
+			for _, c := range callsIn(b) {
+				s[c] = true
+			}
+			return s
+		},
+		Join: func(dst, src set) set {
+			for k := range src {
+				dst[k] = true
+			}
+			return dst
+		},
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	got := res.In[callBlock(t, g, "tail")]
+	want := set{"start": true, "a": true, "b": true}
+	if !equalSet(got, want) {
+		t.Errorf("may-union state entering tail() = %v, want %v", got, want)
+	}
+}
+
+// TestForwardMustIntersection: with an intersection join, only calls on
+// *every* path survive — a and b each miss one branch.
+func TestForwardMustIntersection(t *testing.T) {
+	g := buildFunc(t, diamond)
+	res := Solve(g, Problem[set]{
+		Boundary: func() set { return set{} },
+		Transfer: func(b *cfg.Block, s set) set {
+			for _, c := range callsIn(b) {
+				s[c] = true
+			}
+			return s
+		},
+		Join: func(dst, src set) set {
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+				}
+			}
+			return dst
+		},
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	got := res.In[callBlock(t, g, "tail")]
+	want := set{"start": true}
+	if !equalSet(got, want) {
+		t.Errorf("must-intersection state entering tail() = %v, want %v", got, want)
+	}
+}
+
+// TestEdgeRefinement: the Edge hook sees which side of a Cond block the
+// state flows along — Succs[0] is the true edge, Succs[1] the false edge.
+func TestEdgeRefinement(t *testing.T) {
+	g := buildFunc(t, diamond)
+	res := Solve(g, Problem[set]{
+		Boundary: func() set { return set{} },
+		Transfer: func(b *cfg.Block, s set) set { return s },
+		Edge: func(from *cfg.Block, succIdx int, s set) set {
+			if from.Branch == cfg.Cond {
+				if succIdx == 0 {
+					s["true-edge"] = true
+				} else {
+					s["false-edge"] = true
+				}
+			}
+			return s
+		},
+		Join: func(dst, src set) set {
+			for k := range src {
+				dst[k] = true
+			}
+			return dst
+		},
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	if got := res.In[callBlock(t, g, "a")]; !got["true-edge"] || got["false-edge"] {
+		t.Errorf("then-branch entry state = %v, want exactly the true edge", got)
+	}
+	if got := res.In[callBlock(t, g, "b")]; !got["false-edge"] || got["true-edge"] {
+		t.Errorf("else-branch entry state = %v, want exactly the false edge", got)
+	}
+}
+
+// TestBackwardLiveness: a backward may-problem computes, for each block, the
+// calls on some path strictly after it (In[b] is the state at the block's
+// END in a backward analysis).
+func TestBackwardLiveness(t *testing.T) {
+	g := buildFunc(t, diamond)
+	res := Solve(g, Problem[set]{
+		Backward: true,
+		Boundary: func() set { return set{} },
+		Transfer: func(b *cfg.Block, s set) set {
+			for _, c := range callsIn(b) {
+				s[c] = true
+			}
+			return s
+		},
+		Join: func(dst, src set) set {
+			for k := range src {
+				dst[k] = true
+			}
+			return dst
+		},
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	if got, want := res.In[callBlock(t, g, "a")], (set{"tail": true}); !equalSet(got, want) {
+		t.Errorf("state after a()'s block = %v, want %v", got, want)
+	}
+	if got := res.In[callBlock(t, g, "start")]; !got["a"] || !got["b"] || !got["tail"] {
+		t.Errorf("state after the entry block = %v, want a, b, and tail all live", got)
+	}
+	if got := res.In[callBlock(t, g, "tail")]; len(got) != 0 {
+		t.Errorf("state after the final block = %v, want empty", got)
+	}
+}
+
+// TestLoopFixedPoint: facts generated inside a loop must propagate around
+// the back edge and stabilize.
+func TestLoopFixedPoint(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+	tail()
+}`)
+	res := Solve(g, Problem[set]{
+		Boundary: func() set { return set{} },
+		Transfer: func(b *cfg.Block, s set) set {
+			for _, c := range callsIn(b) {
+				s[c] = true
+			}
+			return s
+		},
+		Join: func(dst, src set) set {
+			for k := range src {
+				dst[k] = true
+			}
+			return dst
+		},
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	// After the fixed point, the loop body's own fact has traveled around
+	// the back edge: entering the body again, work is already present.
+	if got := res.In[callBlock(t, g, "work")]; !got["work"] {
+		t.Errorf("state entering the loop body = %v, want the back-edge fact work", got)
+	}
+	if got := res.In[callBlock(t, g, "tail")]; !got["work"] {
+		// The zero-iteration path misses work(), but this is a may-union.
+		t.Errorf("state entering tail() = %v, want work present via the loop path", got)
+	}
+}
+
+// TestSolverBudgetTerminates: a lattice whose Equal never reports
+// convergence must exhaust the pass budget and return rather than hang.
+func TestSolverBudgetTerminates(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	for {
+		work()
+	}
+}`)
+	res := Solve(g, Problem[int]{
+		Boundary: func() int { return 0 },
+		Transfer: func(b *cfg.Block, s int) int { return s + 1 },
+		Join:     func(dst, src int) int { return dst + src },
+		Equal:    func(a, b int) bool { return false },
+		Clone:    func(s int) int { return s },
+	})
+	if res.In == nil {
+		t.Fatal("solver returned no result")
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// funcScope is one analyzable function body: a declaration or a function
+// literal. The CFG/dataflow analyzers treat each scope independently —
+// nested literals are opaque to their enclosing function and get their own
+// scope (and their own CFG).
+type funcScope struct {
+	// name labels diagnostics ("Collector.Serve", "function literal").
+	name string
+	// ftype carries the signature (named results matter to errflow).
+	ftype *ast.FuncType
+	body  *ast.BlockStmt
+	// deferredLit marks a literal invoked directly by a defer statement
+	// (`defer func() { ... }()`). Such a literal legitimately releases
+	// locks its enclosing function took, so lockbalance treats an
+	// apparently-unmatched unlock there as releasing the caller's lock.
+	deferredLit bool
+}
+
+// functionsIn returns every function body in the file — declarations and
+// all nested literals, each as its own scope.
+func functionsIn(f *ast.File) []funcScope {
+	deferred := make(map[*ast.FuncLit]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+	var out []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				name := fn.Name.Name
+				if fn.Recv != nil && len(fn.Recv.List) == 1 {
+					if t := recvTypeName(fn.Recv.List[0].Type); t != "" {
+						name = t + "." + name
+					}
+				}
+				out = append(out, funcScope{name: name, ftype: fn.Type, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcScope{
+				name: "function literal", ftype: fn.Type, body: fn.Body,
+				deferredLit: deferred[fn],
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// capturedVars returns the variables referenced inside function literals
+// nested within body. A captured variable's lifetime and access pattern are
+// no longer visible to a single-function analysis, so the CFG analyzers
+// stop tracking it rather than guess.
+func capturedVars(p *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	caps := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			if id, ok := inner.(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+					caps[v] = true
+				}
+				if v, ok := p.Info.Defs[id].(*types.Var); ok && !v.IsField() {
+					// Defined inside the literal: not a capture of an outer
+					// variable, but recording it is harmless — the outer
+					// scope never sees the object at all.
+					caps[v] = true
+				}
+			}
+			return true
+		})
+		return false // the literal's own nested literals were covered above
+	})
+	return caps
+}
+
+// inspectCFGNode walks n in the same spirit the CFG assigns nodes to
+// blocks: it does not descend into nested function literals (they are
+// separate scopes with separate graphs), and on a *ast.RangeStmt — which a
+// block holds only as the per-iteration key/value binding — it visits Key
+// and Value but neither the range operand nor the body. (Contrast
+// inspectShallow, which skips literals but otherwise walks everything.)
+func inspectCFGNode(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if m.Key != nil {
+				inspectCFGNode(m.Key, fn)
+			}
+			if m.Value != nil {
+				inspectCFGNode(m.Value, fn)
+			}
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		return fn(m)
+	})
+}
+
+// blockFallsToExit reports whether control can fall off the end of block b
+// into the function's Exit without an explicit return — the implicit
+// path-end at the closing brace that exit-obligation analyzers must check.
+func blockFallsToExit(b *cfg.Block, g *cfg.Graph) bool {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if len(b.Nodes) > 0 {
+		if _, isReturn := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt); isReturn {
+			return false
+		}
+	}
+	return true
+}

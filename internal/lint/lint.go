@@ -14,6 +14,17 @@
 //
 // The comment suppresses the named rules (or "all") on its own line and on
 // the line that follows, so both trailing and standalone placements work.
+// For generated or fixture-heavy regions there is a block form:
+//
+//	//vqlint:ignore-start <rule>[,<rule>...] [rationale]
+//	...
+//	//vqlint:ignore-end
+//
+// Blocks must be flat and closed: a nested ignore-start, an ignore-end with
+// no open block, a start with no rule list, or a block left open at end of
+// file is itself reported as a finding under the "vqlint" rule — a
+// malformed suppression silently suppressing nothing (or everything) is
+// exactly the kind of bug a linter must not have.
 package lint
 
 import (
@@ -71,13 +82,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// All returns the registered analyzers in a stable order.
+// All returns the registered analyzers in a stable order. The four CFG
+// analyzers (lockbalance, poolrelease, errflow, ratioguard) are the
+// path-sensitive tier; lockbalance subsumes the v1 syntactic lockheld rule.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
 		MapOrder,
 		MutexCopy,
-		LockHeld,
+		LockBalance,
+		PoolRelease,
+		ErrFlow,
+		RatioGuard,
 		CtxCheck,
 		ErrDrop,
 	}
@@ -98,7 +114,8 @@ func ByName(name string) *Analyzer {
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		sup, bad := buildSuppressions(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Fset:       pkg.Fset,
@@ -131,24 +148,119 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignorePrefix introduces a suppression comment.
-const ignorePrefix = "//vqlint:ignore"
+// Suppression comment markers. The block markers must be matched before the
+// line marker: they share its prefix.
+const (
+	ignorePrefix      = "//vqlint:ignore"
+	ignoreStartPrefix = "//vqlint:ignore-start"
+	ignoreEndPrefix   = "//vqlint:ignore-end"
+)
 
-// suppressions maps file → line → suppressed rule set ("all" matches every
-// rule).
-type suppressions map[string]map[int]map[string]bool
+// configRule is the rule ID under which malformed suppression comments are
+// reported.
+const configRule = "vqlint"
 
-func (s suppressions) covers(rule string, line int, file string) bool {
-	rules := s[file][line]
-	return rules != nil && (rules[rule] || rules["all"])
+// supRange is one //vqlint:ignore-start…ignore-end region (line numbers
+// inclusive on both marker lines).
+type supRange struct {
+	start, end int
+	rules      map[string]bool
 }
 
-func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+type fileSup struct {
+	lines  map[int]map[string]bool
+	ranges []supRange
+}
+
+// suppressions maps file → its line- and block-form suppression records
+// ("all" matches every rule).
+type suppressions map[string]*fileSup
+
+func (s suppressions) covers(rule string, line int, file string) bool {
+	fs := s[file]
+	if fs == nil {
+		return false
+	}
+	if rules := fs.lines[line]; rules != nil && (rules[rule] || rules["all"]) {
+		return true
+	}
+	for _, r := range fs.ranges {
+		if line >= r.start && line <= r.end && (r.rules[rule] || r.rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// cutMarker matches a marker followed by a word boundary, so that
+// "ignore-start" is never parsed as the line form "ignore" with a "-start"
+// rule list.
+func cutMarker(text, marker string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, marker)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
+}
+
+func parseRuleList(field string) map[string]bool {
+	rules := make(map[string]bool)
+	for _, r := range strings.Split(field, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules[r] = true
+		}
+	}
+	return rules
+}
+
+// buildSuppressions collects the suppression comments of a package's files
+// and reports malformed block comments as diagnostics (see the package
+// comment).
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
 	sup := make(suppressions)
+	var bad []Diagnostic
+	reportf := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{Rule: configRule, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	fileFor := func(name string) *fileSup {
+		fs := sup[name]
+		if fs == nil {
+			fs = &fileSup{lines: make(map[int]map[string]bool)}
+			sup[name] = fs
+		}
+		return fs
+	}
 	for _, f := range files {
+		var open *supRange
+		openAt := 0
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				pos := fset.Position(c.Pos())
+				if _, ok := cutMarker(c.Text, ignoreEndPrefix); ok {
+					if open == nil {
+						reportf(pos, "%s without a matching %s", ignoreEndPrefix, ignoreStartPrefix)
+						continue
+					}
+					open.end = pos.Line
+					fileFor(pos.Filename).ranges = append(fileFor(pos.Filename).ranges, *open)
+					open = nil
+					continue
+				}
+				if rest, ok := cutMarker(c.Text, ignoreStartPrefix); ok {
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						reportf(pos, "%s needs a rule list (or \"all\")", ignoreStartPrefix)
+						continue
+					}
+					if open != nil {
+						reportf(pos, "nested %s: the block opened at line %d is still open", ignoreStartPrefix, openAt)
+						continue
+					}
+					open = &supRange{start: pos.Line, rules: parseRuleList(fields[0])}
+					openAt = pos.Line
+					continue
+				}
+				rest, ok := cutMarker(c.Text, ignorePrefix)
 				if !ok {
 					continue
 				}
@@ -156,28 +268,25 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				if len(fields) == 0 {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
-				}
 				// Cover the comment's own line (trailing placement) and the
 				// next line (standalone placement).
+				fs := fileFor(pos.Filename)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					rules := byLine[line]
+					rules := fs.lines[line]
 					if rules == nil {
 						rules = make(map[string]bool)
-						byLine[line] = rules
+						fs.lines[line] = rules
 					}
-					for _, r := range strings.Split(fields[0], ",") {
-						if r = strings.TrimSpace(r); r != "" {
-							rules[r] = true
-						}
+					for r := range parseRuleList(fields[0]) {
+						rules[r] = true
 					}
 				}
 			}
 		}
+		if open != nil {
+			end := fset.Position(f.End())
+			reportf(end, "%s at line %d is never closed by %s", ignoreStartPrefix, openAt, ignoreEndPrefix)
+		}
 	}
-	return sup
+	return sup, bad
 }

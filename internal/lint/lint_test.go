@@ -24,6 +24,14 @@ var (
 func analyzeSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
 	t.Helper()
 	fixtureSeq++
+	return analyzeSrcPath(t, fmt.Sprintf("fixture%d", fixtureSeq), src, analyzers...)
+}
+
+// analyzeSrcPath is analyzeSrc with an explicit package path, for rules
+// whose behavior keys on the path (ratioguard's eps recognition).
+func analyzeSrcPath(t *testing.T, pkgPath, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fixtureSeq++
 	name := fmt.Sprintf("fixture%d.go", fixtureSeq)
 	f, err := parser.ParseFile(fixtureFset, name, src, parser.ParseComments)
 	if err != nil {
@@ -36,7 +44,7 @@ func analyzeSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: fixtureImporter}
-	tpkg, err := conf.Check(fmt.Sprintf("fixture%d", fixtureSeq), fixtureFset, []*ast.File{f}, info)
+	tpkg, err := conf.Check(pkgPath, fixtureFset, []*ast.File{f}, info)
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
@@ -263,10 +271,10 @@ func snapshot(c counter) int { //vqlint:ignore mutexcopy value is never locked a
 			want: nil,
 		},
 
-		// ---- lockheld ----
+		// ---- lockbalance ----
 		{
-			name:     "lockheld positive early return",
-			analyzer: LockHeld,
+			name:     "lockbalance positive early return",
+			analyzer: LockBalance,
 			src: `package fixture
 import "sync"
 type counter struct {
@@ -282,11 +290,11 @@ func bad(c *counter) int {
 	return 0
 }
 `,
-			want: []string{"lockheld"},
+			want: []string{"lockbalance"},
 		},
 		{
-			name:     "lockheld positive fall off end",
-			analyzer: LockHeld,
+			name:     "lockbalance positive fall off end",
+			analyzer: LockBalance,
 			src: `package fixture
 import "sync"
 func leak(mu *sync.Mutex, n *int) {
@@ -294,15 +302,61 @@ func leak(mu *sync.Mutex, n *int) {
 	*n++
 }
 `,
-			want: []string{"lockheld"},
+			want: []string{"lockbalance"},
 		},
 		{
-			name:     "lockheld negative",
-			analyzer: LockHeld,
+			name:     "lockbalance positive return inside select clause",
+			analyzer: LockBalance,
+			src: `package fixture
+import "sync"
+func drain(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	select {
+	case v := <-ch:
+		return v // leaves mu locked — invisible to a syntactic walk
+	default:
+	}
+	mu.Unlock()
+	return 0
+}
+`,
+			want: []string{"lockbalance"},
+		},
+		{
+			name:     "lockbalance positive double unlock",
+			analyzer: LockBalance,
+			src: `package fixture
+import "sync"
+func double(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+`,
+			want: []string{"lockbalance"},
+		},
+		{
+			name:     "lockbalance positive self deadlock",
+			analyzer: LockBalance,
+			src: `package fixture
+import "sync"
+func again(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+`,
+			want: []string{"lockbalance"},
+		},
+		{
+			name:     "lockbalance negative",
+			analyzer: LockBalance,
 			src: `package fixture
 import "sync"
 type counter struct {
 	mu sync.Mutex
+	rw sync.RWMutex
 	n  int
 }
 func deferred(c *counter) int {
@@ -319,17 +373,367 @@ func paired(c *counter) int {
 	c.mu.Unlock()
 	return n
 }
+func conditional(c *counter, use bool) {
+	if use {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n = 0
+}
+func reader(c *counter) int {
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+func branches(c *counter, closed bool) int {
+	c.mu.Lock()
+	if closed {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+func deferredLit(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
 `,
 			want: nil,
 		},
 		{
-			name:     "lockheld suppressed",
-			analyzer: LockHeld,
+			name:     "lockbalance suppressed",
+			analyzer: LockBalance,
 			src: `package fixture
 import "sync"
 func handoff(mu *sync.Mutex) {
 	mu.Lock()
-	//vqlint:ignore lockheld ownership transfers to the caller
+	//vqlint:ignore lockbalance ownership transfers to the caller
+}
+`,
+			want: nil,
+		},
+
+		// ---- poolrelease ----
+		{
+			name:     "poolrelease positive early return leak",
+			analyzer: PoolRelease,
+			src: `package fixture
+type res struct{ n int }
+func (r *res) Release() {}
+func Acquire() *res { return &res{} }
+func leak(cond bool) int {
+	r := Acquire()
+	if cond {
+		return 0 // r never reaches Release on this path
+	}
+	r.Release()
+	return 1
+}
+`,
+			want: []string{"poolrelease"},
+		},
+		{
+			name:     "poolrelease positive pool Get without Put",
+			analyzer: PoolRelease,
+			src: `package fixture
+import "sync"
+var pool sync.Pool
+func use(cond bool) {
+	b := pool.Get().(*[]byte)
+	if cond {
+		return // b never goes back to the pool
+	}
+	pool.Put(b)
+}
+`,
+			want: []string{"poolrelease"},
+		},
+		{
+			name:     "poolrelease negative",
+			analyzer: PoolRelease,
+			src: `package fixture
+type res struct{ n int }
+func (r *res) Release() {}
+func Acquire() *res { return &res{} }
+func view(r *res) int { return r.n }
+func deferred(cond bool) int {
+	r := Acquire()
+	defer r.Release()
+	if cond {
+		return 0
+	}
+	return view(r) // borrowing through a call argument is fine
+}
+func escapes() *res {
+	r := Acquire()
+	return r // ownership moves to the caller
+}
+func panicPath(cond bool) {
+	r := Acquire()
+	if cond {
+		panic("corrupt state") // crash paths owe the pool nothing
+	}
+	r.Release()
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "poolrelease negative comma-ok and nil guards",
+			analyzer: PoolRelease,
+			src: `package fixture
+import "sync"
+var pool sync.Pool
+func commaOK(out []byte) []byte {
+	b, ok := pool.Get().(*[]byte)
+	if !ok {
+		return nil // assertion failed: b is nil, nothing to put back
+	}
+	out = append(out, (*b)...)
+	pool.Put(b)
+	return out
+}
+func nilCheck(out []byte) []byte {
+	b, _ := pool.Get().(*[]byte)
+	if b == nil {
+		return nil
+	}
+	out = append(out, (*b)...)
+	pool.Put(b)
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "poolrelease positive still leaks past the comma-ok guard",
+			analyzer: PoolRelease,
+			src: `package fixture
+import "sync"
+var pool sync.Pool
+func leak(n int) int {
+	b, ok := pool.Get().(*[]byte)
+	if !ok {
+		return 0
+	}
+	if n == 0 {
+		return 0 // ok-true path: b is live and never put back
+	}
+	pool.Put(b)
+	return len(*b)
+}
+`,
+			want: []string{"poolrelease"},
+		},
+		{
+			name:     "poolrelease suppressed",
+			analyzer: PoolRelease,
+			src: `package fixture
+type res struct{ n int }
+func (r *res) Release() {}
+func Acquire() *res { return &res{} }
+func leak(cond bool) {
+	r := Acquire()
+	if cond {
+		return //vqlint:ignore poolrelease released by the caller via Done()
+	}
+	r.Release()
+}
+`,
+			want: nil,
+		},
+
+		// ---- errflow ----
+		{
+			name:     "errflow positive overwrite and drop",
+			analyzer: ErrFlow,
+			src: `package fixture
+func step() error { return nil }
+func overwrite() error {
+	err := step()
+	err = step() // the first error was never checked
+	return err
+}
+func dead() {
+	err := step() // assigned, then the function ends without reading it
+	err = step()
+	_ = err
+}
+`,
+			want: []string{"errflow", "errflow"},
+		},
+		{
+			name:     "errflow negative",
+			analyzer: ErrFlow,
+			src: `package fixture
+func step() error { return nil }
+func checked() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	err = step()
+	return err
+}
+func loopRetry() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = step()
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+func named() (err error) {
+	err = step()
+	return // naked return reads the named result
+}
+func viaClosure() error {
+	var err error
+	fn := func() { err = step() } // captured: exempt from the analysis
+	fn()
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "errflow suppressed",
+			analyzer: ErrFlow,
+			src: `package fixture
+func step() error { return nil }
+func overwrite() error {
+	err := step() //vqlint:ignore errflow first probe is best-effort
+	err = step()
+	return err
+}
+`,
+			want: nil,
+		},
+
+		// ---- ratioguard ----
+		{
+			name:     "ratioguard positive",
+			analyzer: RatioGuard,
+			src: `package fixture
+func ratio(problems, total int) float64 {
+	return float64(problems) / float64(total) // NaN on a starved epoch
+}
+func intdiv(a, n int) int {
+	return a / n // panics outright
+}
+`,
+			want: []string{"ratioguard", "ratioguard"},
+		},
+		{
+			name:     "ratioguard positive guard on one path only",
+			analyzer: RatioGuard,
+			src: `package fixture
+func half(sum float64, n int, skip bool) float64 {
+	if !skip {
+		if n == 0 {
+			return 0
+		}
+	}
+	return sum / float64(n) // the skip path arrives unguarded
+}
+`,
+			want: []string{"ratioguard"},
+		},
+		{
+			name:     "ratioguard negative",
+			analyzer: RatioGuard,
+			src: `package fixture
+func guarded(problems, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(problems) / float64(total)
+}
+func positiveTest(sum float64, n int) float64 {
+	if n > 0 {
+		return sum / float64(n)
+	}
+	return 0
+}
+func clamp(x float64, steps int) float64 {
+	if steps < 1 {
+		steps = 1 // the clamp idiom proves the bound on both paths
+	}
+	return x / float64(steps)
+}
+func alias(problems, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	n := float64(total)
+	return float64(problems) / n
+}
+func orChain(a, b, n int) float64 {
+	if a < 0 || n == 0 {
+		return 0
+	}
+	return float64(b) / float64(n)
+}
+func minusOne(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1 / float64(n-1) // n ≥ 2 ⇒ n−1 ≥ 1
+}
+func constDen(a int) float64 {
+	return float64(a) / 4
+}
+func loopGuard(groups [][]int) float64 {
+	var out float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		out += 1 / float64(len(g))
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "ratioguard negative non-empty literal length",
+			analyzer: RatioGuard,
+			src: `package fixture
+func rotate(i int) string {
+	names := []string{"buffer", "bitrate", "join"}
+	return names[i%len(names)] // a 3-element literal cannot have len 0
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "ratioguard positive literal length lost on reassignment",
+			analyzer: RatioGuard,
+			src: `package fixture
+func pick(i int, extra []string) string {
+	names := []string{"buffer", "bitrate", "join"}
+	names = extra // could be empty: the literal fact must die here
+	return names[i%len(names)]
+}
+`,
+			want: []string{"ratioguard"},
+		},
+		{
+			name:     "ratioguard suppressed",
+			analyzer: RatioGuard,
+			src: `package fixture
+func ratio(problems, total int) float64 {
+	return float64(problems) / float64(total) //vqlint:ignore ratioguard caller validates total
 }
 `,
 			want: nil,
@@ -541,6 +945,26 @@ func (g *guarded) hold() float64 {
 	g.mu.Lock()
 	return float64(g.n)
 }
+type res struct{ n int }
+func (r *res) Release() {}
+func Acquire() *res { return &res{} }
+func leakRes(cond bool) int {
+	r := Acquire()
+	if cond {
+		return 0
+	}
+	r.Release()
+	return 1
+}
+func step() error { return nil }
+func overwrite() error {
+	err := step()
+	err = step()
+	return err
+}
+func ratio(problems, total int) float64 {
+	return float64(problems) / float64(total)
+}
 `
 	got := analyzeSrc(t, src, All()...)
 	fired := make(map[string]bool)
@@ -581,6 +1005,120 @@ func outOfRange(a, b float64) bool {
 	got := analyzeSrc(t, src, FloatCmp)
 	if len(got) != 2 {
 		t.Fatalf("got %d diagnostics, want 2 (wrongRule and outOfRange):\n%s", len(got), formatDiags(got))
+	}
+}
+
+// TestBlockSuppression pins the //vqlint:ignore-start / ignore-end contract:
+// a well-formed block suppresses the named rules between its markers and
+// nothing outside them, and every malformed shape — end without start, a
+// start with no rule list, a nested start, a block left open at EOF — is
+// itself reported under the "vqlint" rule rather than silently changing what
+// gets suppressed.
+func TestBlockSuppression(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[string]int // rule → expected diagnostic count
+	}{
+		{
+			name: "valid block suppresses inside only",
+			src: `package fixture
+func eq(a, b float64) bool {
+	//vqlint:ignore-start floatcmp generated comparison table
+	if a == b {
+		return true
+	}
+	//vqlint:ignore-end
+	return a != b
+}
+`,
+			want: map[string]int{"floatcmp": 1},
+		},
+		{
+			name: "end without start",
+			src: `package fixture
+//vqlint:ignore-end
+func eq(a, b float64) bool { return a == b }
+`,
+			want: map[string]int{"vqlint": 1, "floatcmp": 1},
+		},
+		{
+			name: "start without rule list",
+			src: `package fixture
+//vqlint:ignore-start
+func eq(a, b float64) bool { return a == b }
+//vqlint:ignore-end
+`,
+			// The bare start is rejected, so no block ever opens: the end is
+			// then also orphaned, and the finding between them comes through.
+			want: map[string]int{"vqlint": 2, "floatcmp": 1},
+		},
+		{
+			name: "nested start rejected but outer block holds",
+			src: `package fixture
+func eq(a, b float64) bool {
+	//vqlint:ignore-start floatcmp outer
+	//vqlint:ignore-start floatcmp inner
+	if a == b {
+		return true
+	}
+	//vqlint:ignore-end
+	return false
+}
+`,
+			want: map[string]int{"vqlint": 1},
+		},
+		{
+			name: "unclosed block suppresses nothing",
+			src: `package fixture
+func eq(a, b float64) bool {
+	//vqlint:ignore-start floatcmp forgot to close
+	return a == b
+}
+`,
+			want: map[string]int{"vqlint": 1, "floatcmp": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := analyzeSrc(t, tc.src, FloatCmp)
+			counts := make(map[string]int)
+			for _, d := range got {
+				counts[d.Rule]++
+			}
+			for rule, n := range tc.want {
+				if counts[rule] != n {
+					t.Errorf("rule %s fired %d times, want %d:\n%s", rule, counts[rule], n, formatDiags(got))
+				}
+			}
+			for rule := range counts {
+				if _, ok := tc.want[rule]; !ok {
+					t.Errorf("unexpected rule %s:\n%s", rule, formatDiags(got))
+				}
+			}
+		})
+	}
+}
+
+// TestRatioGuardEpsZero covers the eps.Zero guard recognition, which keys on
+// the package path: a fixture type-checked under a path ending in /eps can
+// call its own Zero unqualified and ratioguard must honor the guard.
+func TestRatioGuardEpsZero(t *testing.T) {
+	const src = `package eps
+func Zero(x float64) bool { return x < 1e-9 && x > -1e-9 }
+func guarded(sum float64, n int) float64 {
+	if Zero(float64(n)) {
+		return 0
+	}
+	return sum / float64(n)
+}
+func unguarded(sum float64, n int) float64 {
+	return sum / float64(n)
+}
+`
+	got := analyzeSrcPath(t, "repro/internal/eps", src, RatioGuard)
+	if len(got) != 1 || got[0].Rule != "ratioguard" {
+		t.Fatalf("want exactly one ratioguard finding (the unguarded division):\n%s", formatDiags(got))
 	}
 }
 

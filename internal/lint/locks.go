@@ -125,167 +125,6 @@ func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
 	return false
 }
 
-// LockHeld reports functions that return — or fall off the end — while a
-// sync.Mutex/RWMutex locked in the same function is still held and no
-// unlock has been deferred. The collector and assembler rely on short
-// critical sections; an early return that skips the unlock deadlocks every
-// other connection handler.
-var LockHeld = &Analyzer{
-	Name: "lockheld",
-	Doc:  "return (or fall-through) while a mutex locked in this function is still held",
-	Run:  runLockHeld,
-}
-
-func runLockHeld(p *Pass) {
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body == nil {
-				return true
-			}
-			st := newLockState()
-			terminated := walkLockBlock(p, body.List, st)
-			if !terminated {
-				for name := range st.held {
-					if !st.deferred[name] {
-						p.Reportf(body.Rbrace, "function ends with %s still locked and no deferred unlock", name)
-					}
-				}
-			}
-			return true
-		})
-	}
-}
-
-type lockState struct {
-	// held maps the rendered receiver expression ("c.mu") to locked-ness.
-	held map[string]bool
-	// deferred marks receivers with a deferred unlock in scope.
-	deferred map[string]bool
-}
-
-func newLockState() *lockState {
-	return &lockState{held: make(map[string]bool), deferred: make(map[string]bool)}
-}
-
-func (s *lockState) clone() *lockState {
-	c := newLockState()
-	for k, v := range s.held {
-		c.held[k] = v
-	}
-	for k, v := range s.deferred {
-		c.deferred[k] = v
-	}
-	return c
-}
-
-// walkLockBlock interprets a statement list, tracking lock/unlock pairs on
-// sync mutexes. It returns true when the list definitely terminates (ends
-// in a return). The interpretation is deliberately shallow: loops, selects
-// and switches are scanned for diagnostics in a cloned state without
-// propagating their effects, which keeps the rule conservative.
-func walkLockBlock(p *Pass, stmts []ast.Stmt, st *lockState) (terminated bool) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			applyLockCall(p, s.X, st)
-		case *ast.DeferStmt:
-			if recv, op := mutexCall(p, s.Call); op == "Unlock" || op == "RUnlock" {
-				st.deferred[recv] = true
-			}
-		case *ast.ReturnStmt:
-			for name := range st.held {
-				if !st.deferred[name] {
-					p.Reportf(s.Pos(), "return with %s still locked and no deferred unlock", name)
-				}
-			}
-			return true
-		case *ast.BlockStmt:
-			if walkLockBlock(p, s.List, st) {
-				return true
-			}
-		case *ast.IfStmt:
-			thenSt := st.clone()
-			thenTerm := walkLockBlock(p, s.Body.List, thenSt)
-			elseSt := st.clone()
-			elseTerm := false
-			if s.Else != nil {
-				switch e := s.Else.(type) {
-				case *ast.BlockStmt:
-					elseTerm = walkLockBlock(p, e.List, elseSt)
-				case *ast.IfStmt:
-					elseTerm = walkLockBlock(p, []ast.Stmt{e}, elseSt)
-				}
-			}
-			if thenTerm && elseTerm {
-				return true
-			}
-			// Merge the branches that continue past the if.
-			merged := newLockState()
-			for _, out := range []struct {
-				st   *lockState
-				term bool
-			}{{thenSt, thenTerm}, {elseSt, elseTerm}} {
-				if out.term {
-					continue
-				}
-				for k := range out.st.held {
-					merged.held[k] = true
-				}
-				for k := range out.st.deferred {
-					merged.deferred[k] = true
-				}
-			}
-			*st = *merged
-		case *ast.ForStmt:
-			walkLockBlock(p, s.Body.List, st.clone())
-		case *ast.RangeStmt:
-			walkLockBlock(p, s.Body.List, st.clone())
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if comm, ok := c.(*ast.CommClause); ok {
-					walkLockBlock(p, comm.Body, st.clone())
-				}
-			}
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					walkLockBlock(p, cc.Body, st.clone())
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					walkLockBlock(p, cc.Body, st.clone())
-				}
-			}
-		}
-	}
-	return false
-}
-
-func applyLockCall(p *Pass, e ast.Expr, st *lockState) {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	recv, op := mutexCall(p, call)
-	switch op {
-	case "Lock", "RLock":
-		st.held[recv] = true
-	case "Unlock", "RUnlock":
-		delete(st.held, recv)
-	}
-}
-
 // mutexCall matches calls of the form recv.Lock()/Unlock()/RLock()/RUnlock()
 // where recv is a sync.Mutex or sync.RWMutex (possibly behind a pointer),
 // returning the rendered receiver and the operation.

@@ -1,0 +1,113 @@
+// Golden fixture exercised with all four path-sensitive analyzers at once:
+// adversarial control flow — goto across blocks, labeled break/continue,
+// select with and without default, retry loops — that the v1 syntactic
+// walkers could not follow.
+package fixture
+
+import "sync"
+
+type conn struct{ id int }
+
+func (c *conn) Release() {}
+
+func Acquire() *conn { return &conn{} }
+
+func probe() error { return nil }
+
+// goto across blocks: the cleanup path releases the lock, the n==0 path
+// returns while still holding it.
+func gotoPaths(mu *sync.Mutex, n int) int {
+	mu.Lock()
+	if n < 0 {
+		goto cleanup
+	}
+	if n == 0 {
+		return -1 // want "mu reaches this return still locked"
+	}
+	mu.Unlock()
+	return n
+cleanup:
+	mu.Unlock()
+	return 0
+}
+
+// Labeled break out of a nested loop: the break arm already unlocked, so
+// the final unlock only holds on the exhausted path.
+func scanRows(mu *sync.Mutex, rows [][]int) {
+	mu.Lock()
+search:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				mu.Unlock()
+				break search
+			}
+			if v == 0 {
+				continue search
+			}
+		}
+	}
+	mu.Unlock() // want "mu is not locked on every path"
+}
+
+// select with default: ownership leaves on the send arm and is released on
+// the other two — balanced on every path.
+func publish(ch chan *conn, stop chan struct{}) {
+	c := Acquire()
+	select {
+	case ch <- c:
+	case <-stop:
+		c.Release()
+	default:
+		c.Release()
+	}
+}
+
+// select whose default arm forgets the release.
+func publishLeak(ch chan *conn) {
+	c := Acquire()
+	select {
+	case ch <- c:
+	default:
+	}
+} // want "c acquired from Acquire .* does not reach Release/Put"
+
+// Retry via backward goto: the error is checked before every loop-back, so
+// no store is dead.
+func retryGoto() error {
+	tries := 0
+retry:
+	err := probe()
+	if err != nil && tries < 3 {
+		tries++
+		goto retry
+	}
+	return err
+}
+
+// Every path out of the loop assignment overwrites err before reading it.
+func pollUntil(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = probe() // want "overwritten or dropped"
+		if i == n-1 {
+			break
+		}
+	}
+	err = probe()
+	return err
+}
+
+// The zero guard covers only the first switch arm; the default arm divides
+// unguarded.
+func switchRatio(mode, problems, total int) float64 {
+	switch mode {
+	case 0:
+		if total == 0 {
+			return 0
+		}
+		return float64(problems) / float64(total)
+	default:
+		return float64(problems) / float64(total) // want "not dominated by a non-zero guard"
+	}
+}

@@ -1,0 +1,48 @@
+// Golden fixture for the errflow analyzer.
+package fixture
+
+import "errors"
+
+func probe() error { return errors.New("probe failed") }
+
+// True positive: the first probe's error is overwritten unchecked.
+func overwritten() error {
+	err := probe() // want "the error assigned to err is overwritten or dropped"
+	err = probe()
+	return err
+}
+
+// True positive: the last store is discarded without any read.
+func discarded() {
+	err := probe() // want "overwritten or dropped"
+	err = probe()
+	_ = err
+}
+
+// Guarded negative: every assignment is checked before the next.
+func checked() error {
+	err := probe()
+	if err != nil {
+		return err
+	}
+	err = probe()
+	return err
+}
+
+// Guarded negative: the retry loop reads err on every iteration.
+func retried() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = probe()
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+
+// Guarded negative: a naked return reads the named result.
+func named() (err error) {
+	err = probe()
+	return
+}

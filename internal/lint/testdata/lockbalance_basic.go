@@ -1,0 +1,50 @@
+// Golden fixture for the lockbalance analyzer (see want_test.go for the
+// // want comment contract).
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// True positive: the fast-path return leaves the lock held.
+func earlyReturn(s *store) int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want "s.mu reaches this return still locked"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// True positive: control falls off the end with the lock outstanding.
+func fallsOff(s *store) {
+	s.mu.Lock()
+	s.n++
+} // want "still locked"
+
+// Guarded negative: the deferred unlock balances every path, including the
+// early return.
+func balanced(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+// Guarded negative: explicit unlock on each branch.
+func branches(s *store, flush bool) int {
+	s.mu.Lock()
+	if flush {
+		s.n = 0
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}

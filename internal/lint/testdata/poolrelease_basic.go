@@ -1,0 +1,59 @@
+// Golden fixture for the poolrelease analyzer.
+package fixture
+
+import "sync"
+
+type buf struct{ data []byte }
+
+func (b *buf) Release() {}
+
+func Acquire() *buf { return &buf{} }
+
+var bytePool sync.Pool
+
+// True positive: the error path skips the release.
+func leaky(fail bool) int {
+	b := Acquire()
+	if fail {
+		return -1 // want "b acquired from Acquire .* does not reach Release/Put"
+	}
+	b.Release()
+	return len(b.data)
+}
+
+// True positive: sync.Pool Get without Put on the short-circuit path.
+func fromPool(n int) {
+	p := bytePool.Get().(*[]byte)
+	if n == 0 {
+		return // want "p acquired from bytePool.Get"
+	}
+	bytePool.Put(p)
+}
+
+// Guarded negative: deferred release covers every path; passing the value
+// as a call argument is borrowing, not an ownership transfer.
+func safe(fail bool) int {
+	b := Acquire()
+	defer b.Release()
+	if fail {
+		return -1
+	}
+	return use(b)
+}
+
+func use(b *buf) int { return len(b.data) }
+
+// Guarded negative: ownership moves to the caller.
+func handoff() *buf {
+	b := Acquire()
+	return b
+}
+
+// Guarded negative: panic paths owe the pool nothing.
+func crashes(fail bool) {
+	b := Acquire()
+	if fail {
+		panic("corrupt digest")
+	}
+	b.Release()
+}

@@ -1,0 +1,46 @@
+// Golden fixture for the ratioguard analyzer.
+package fixture
+
+// True positive: a starved epoch makes total zero and the ratio NaN.
+func problemRatio(problems, total int) float64 {
+	return float64(problems) / float64(total) // want "division by float64.total. is not dominated"
+}
+
+// True positive: integer division panics outright on a zero denominator.
+func perSession(stalls, sessions int) int {
+	return stalls / sessions // want "division by sessions is not dominated"
+}
+
+// Guarded negative: the early return dominates the division.
+func guardedRatio(problems, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(problems) / float64(total)
+}
+
+// Guarded negative: the clamp idiom proves the bound on both paths.
+func clamped(x float64, steps int) float64 {
+	if steps < 1 {
+		steps = 1
+	}
+	return x / float64(steps)
+}
+
+// Guarded negative: the guard flows through a local alias of the
+// conversion.
+func aliased(problems, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	n := float64(total)
+	return float64(problems) / n
+}
+
+// Guarded negative: n >= 2 on the surviving path proves n-1 >= 1.
+func variance(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1 / float64(n-1)
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantCorpusAnalyzers registers each golden fixture under testdata with the
+// analyzers it exercises. A fixture file without an entry here fails the
+// corpus test, so new fixtures cannot silently go unchecked.
+var wantCorpusAnalyzers = map[string][]*Analyzer{
+	"cfg_adversarial.go":   {LockBalance, PoolRelease, ErrFlow, RatioGuard},
+	"lockbalance_basic.go": {LockBalance},
+	"poolrelease_basic.go": {PoolRelease},
+	"errflow_basic.go":     {ErrFlow},
+	"ratioguard_basic.go":  {RatioGuard},
+}
+
+// TestWantCorpus runs the golden fixtures: every line carrying a
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment must receive exactly the diagnostics those regexps match (against
+// the rendered "msg [rule]" form), and no other line may receive any. The
+// corpus is the behavioral contract of the path-sensitive analyzers — the
+// positives pin true-bug shapes, the negatives pin the guard idioms the
+// repository relies on.
+func TestWantCorpus(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		seen[e.Name()] = true
+		analyzers, ok := wantCorpusAnalyzers[e.Name()]
+		if !ok {
+			t.Errorf("testdata/%s is not registered in wantCorpusAnalyzers", e.Name())
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			runWantFile(t, filepath.Join("testdata", e.Name()), analyzers)
+		})
+	}
+	for name := range wantCorpusAnalyzers {
+		if !seen[name] {
+			t.Errorf("registered fixture testdata/%s does not exist", name)
+		}
+	}
+}
+
+// wantQuoted extracts the double-quoted regexp sources of a want comment.
+// The content between the quotes is used verbatim as a regexp (no string
+// unquoting), so \d and \( work naturally; a want pattern cannot contain a
+// double quote.
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantEntry struct {
+	source  string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runWantFile(t *testing.T, path string, analyzers []*Analyzer) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	f, err := parser.ParseFile(fixtureFset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: fixtureImporter}
+	tpkg, err := conf.Check("corpus/"+strings.TrimSuffix(filepath.Base(path), ".go"), fixtureFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	wants := make(map[int][]*wantEntry)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			line := fixtureFset.Position(c.Pos()).Line
+			for _, m := range wantQuoted.FindAllStringSubmatch(c.Text[idx:], -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				}
+				wants[line] = append(wants[line], &wantEntry{source: m[1], re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s has no want comments; a golden fixture must pin at least one finding", path)
+	}
+
+	diags := Run([]*Package{{
+		Path:  tpkg.Path(),
+		Fset:  fixtureFset,
+		Files: []*ast.File{f},
+		Types: tpkg,
+		Info:  info,
+	}}, analyzers)
+
+	for _, d := range diags {
+		rendered := d.Msg + " [" + d.Rule + "]"
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.re.MatchString(rendered) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				t.Errorf("%s:%d: want %q matched no diagnostic", path, line, w.source)
+			}
+		}
+	}
+}

@@ -3,9 +3,12 @@
 #
 #   1. go build      — everything compiles
 #   2. go vet        — the toolchain's own static checks
-#   3. vqlint        — the repo-specific analyzers (float equality, map-order
-#                      determinism, lock copying/holding, goroutine shutdown,
-#                      dropped errors); non-zero exit on any finding
+#   3. vqlint        — the repo-specific analyzers: syntactic rules (float
+#                      equality, map-order determinism, lock copying,
+#                      goroutine shutdown, dropped errors) plus the
+#                      path-sensitive CFG/dataflow rules (lockbalance,
+#                      poolrelease, errflow, ratioguard); non-zero exit on
+#                      any finding
 #   4. go test -race — the full suite under the race detector
 set -eux
 
