@@ -1,0 +1,42 @@
+package lint
+
+import "testing"
+
+// Repro A: selector-LHS assignment does not kill facts about s.n.
+func TestRatioguardSelectorKillGap(t *testing.T) {
+	src := `package fix
+type S struct{ n int }
+func f(s *S, x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	s.n = 0
+	return x / float64(s.n) // division by zero at runtime; should be flagged
+}
+`
+	diags := analyzeSrc(t, src, RatioGuard)
+	if len(diags) == 0 {
+		t.Fatalf("NOT FLAGGED: stale fact survived selector assignment")
+	}
+	t.Logf("flagged: %v", diags)
+}
+
+// Repro B: fallthrough after a nested switch loses its CFG edge.
+func TestLockbalanceFallthroughNestedSwitch(t *testing.T) {
+	src := `package fix
+import "sync"
+func g(mu *sync.Mutex, x, y int) {
+	switch x {
+	case 1:
+		switch y {
+		case 2:
+		}
+		fallthrough
+	case 3:
+		mu.Unlock() // reached with mu unlocked via fallthrough; but also...
+	}
+}
+`
+	diags := analyzeSrc(t, src, LockBalance)
+	t.Logf("diags: %v", diags)
+}
