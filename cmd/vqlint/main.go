@@ -6,13 +6,20 @@
 //
 //	vqlint [-rules floatcmp,lockbalance,...] [-list]
 //	       [-format text|json|sarif] [-baseline lint-baseline.json]
-//	       [-write-baseline lint-baseline.json] [patterns...]
+//	       [-write-baseline lint-baseline.json] [-j N]
+//	       [-timing lint-timing.json] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's shape. Findings print
 // one per line as file:line:col: message [rule] (text), as a {"findings":
 // [...]} document (json), or as a SARIF 2.1.0 log (sarif, for code-scanning
 // upload). Suppress a finding with a trailing or preceding comment
 // //vqlint:ignore <rule> <rationale>, or a //vqlint:ignore-start/-end block.
+//
+// Packages are analyzed concurrently (-j bounds the workers, default one per
+// CPU); loading stays serial because the source importer is not, and output
+// order is deterministic regardless of worker count. -timing writes a JSON
+// report of analysis wall time — per package, and per analyzer both within
+// each package and totaled across the run — for CI artifact upload.
 //
 // The baseline mechanism grandfathers pre-existing findings during a rule
 // rollout: -write-baseline records the current findings, -baseline filters
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/lint"
@@ -44,6 +52,8 @@ func run(args []string, stdout io.Writer) int {
 	format := fs.String("format", "text", "output format: text, json, or sarif")
 	baselinePath := fs.String("baseline", "", "filter findings recorded in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+	workers := fs.Int("j", runtime.NumCPU(), "number of packages analyzed concurrently")
+	timingPath := fs.String("timing", "", "write per-package and per-analyzer timings (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,7 +96,14 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
 		return 2
 	}
-	findings := toFindings(lint.Run(pkgs, analyzers), cwd)
+	diags, timings := lint.RunConcurrent(pkgs, analyzers, *workers)
+	findings := toFindings(diags, cwd)
+	if *timingPath != "" {
+		if err := saveTimings(*timingPath, timings); err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			return 2
+		}
+	}
 
 	if *writeBaseline != "" {
 		if err := saveBaseline(*writeBaseline, findings); err != nil {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -94,6 +95,78 @@ func TestSaveBaselineEmptyShape(t *testing.T) {
 	}
 }
 
+// TestSaveBaselineDeterministic pins the committed-artifact contract: the
+// same findings in any order serialize to identical bytes.
+func TestSaveBaselineDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	fs := toFindings(sampleDiags(), "/work")
+	rev := []finding{fs[1], fs[0]}
+
+	pathA, pathB := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := saveBaseline(pathA, fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveBaseline(pathB, rev); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(pathA)
+	b, _ := os.ReadFile(pathB)
+	if !bytes.Equal(a, b) {
+		t.Errorf("baseline bytes depend on input order:\n%s\nvs\n%s", a, b)
+	}
+	base, err := loadBaseline(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 || base[0].File > base[1].File {
+		t.Errorf("baseline not sorted by file: %+v", base)
+	}
+}
+
+func TestSaveTimings(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "timing.json")
+	if err := saveTimings(path, []lint.PkgTiming{
+		{Path: "repro/internal/lint", Elapsed: 1234, Rules: map[string]time.Duration{"goleak": 1000, "(setup)": 234}},
+		{Path: "repro/internal/collector", Elapsed: 567, Rules: map[string]time.Duration{"goleak": 500, "(setup)": 67}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Packages []struct {
+			Path      string           `json:"path"`
+			ElapsedNs int64            `json:"elapsedNs"`
+			RuleNs    map[string]int64 `json:"ruleNs"`
+		} `json:"packages"`
+		RuleNs map[string]int64 `json:"ruleNs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid timing JSON: %v\n%s", err, data)
+	}
+	if len(doc.Packages) != 2 || doc.Packages[0].ElapsedNs != 1234 {
+		t.Errorf("unexpected timing document: %s", data)
+	}
+	if doc.Packages[0].RuleNs["goleak"] != 1000 {
+		t.Errorf("per-package rule timing lost: %s", data)
+	}
+	// The cross-package per-analyzer totals are the headline numbers.
+	if doc.RuleNs["goleak"] != 1500 || doc.RuleNs["(setup)"] != 301 {
+		t.Errorf("per-rule totals wrong: %s", data)
+	}
+	// The empty report still has the {"packages":[]} shape.
+	if err := saveTimings(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if !strings.Contains(string(data), `"packages": []`) {
+		t.Errorf("empty timing report must serialize packages as []: %s", data)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeJSON(&buf, toFindings(sampleDiags(), "/work")); err != nil {
@@ -156,7 +229,7 @@ func TestWriteSARIF(t *testing.T) {
 	for _, r := range run.Tool.Driver.Rules {
 		ruleIDs[r.ID] = true
 	}
-	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard"} {
+	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard", "goleak", "chandiscipline", "wgbalance"} {
 		if !ruleIDs[want] {
 			t.Errorf("rule %s missing from driver metadata", want)
 		}
@@ -181,7 +254,7 @@ func TestRunListAndBadFlags(t *testing.T) {
 	if code := run([]string{"-list"}, &buf); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard", "floatcmp"} {
+	for _, want := range []string{"lockbalance", "poolrelease", "errflow", "ratioguard", "floatcmp", "goleak", "chandiscipline", "wgbalance"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("-list output missing %s", want)
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -64,10 +65,52 @@ func loadBaseline(path string) ([]finding, error) {
 }
 
 func saveBaseline(path string, findings []finding) error {
-	if findings == nil {
-		findings = []finding{}
-	}
+	// The committed baseline must be byte-stable across machines and worker
+	// counts: repo-relative slash paths (toFindings) plus a full sort.
+	findings = append(make([]finding, 0, len(findings)), findings...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Msg < b.Msg
+	})
 	data, err := json.MarshalIndent(baselineDoc{Findings: findings}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// timingDoc is the -timing report: per-package analysis wall time (with a
+// per-rule breakdown each) in the deterministic package order of
+// RunConcurrent, plus the per-analyzer totals across all packages — the
+// number that answers "which rule is making CI slow".
+type timingDoc struct {
+	Packages []lint.PkgTiming         `json:"packages"`
+	RuleNs   map[string]time.Duration `json:"ruleNs"`
+}
+
+func saveTimings(path string, timings []lint.PkgTiming) error {
+	if timings == nil {
+		timings = []lint.PkgTiming{}
+	}
+	totals := make(map[string]time.Duration)
+	for _, pt := range timings {
+		for rule, d := range pt.Rules {
+			totals[rule] += d
+		}
+	}
+	data, err := json.MarshalIndent(timingDoc{Packages: timings, RuleNs: totals}, "", "  ")
 	if err != nil {
 		return err
 	}

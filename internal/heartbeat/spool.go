@@ -15,8 +15,7 @@ import (
 // ingestion stays live and the loss is visible in the accounting (sessions
 // delivered + shed always sums to sessions emitted).
 type Spool struct {
-	ch   chan session.Session
-	sink func(session.Session)
+	ch chan session.Session
 
 	mu     sync.Mutex
 	closed bool
@@ -45,16 +44,19 @@ func NewSpool(capacity int, sink func(session.Session)) *Spool {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	sp := &Spool{ch: make(chan session.Session, capacity), sink: sink}
+	sp := &Spool{ch: make(chan session.Session, capacity)}
 	sp.wg.Add(1)
-	go sp.run()
+	go sp.run(sink)
 	return sp
 }
 
-func (sp *Spool) run() {
+// run is the delivery goroutine. It owns the sink for its whole lifetime —
+// handed over at spawn rather than read back out of a field, so delivery
+// never depends on later mutation of the Spool.
+func (sp *Spool) run(sink func(session.Session)) {
 	defer sp.wg.Done()
 	for s := range sp.ch {
-		sp.sink(s)
+		sink(s)
 		sp.delivered.Add(1)
 	}
 }

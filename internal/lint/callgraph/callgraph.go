@@ -1,0 +1,295 @@
+// Package callgraph resolves the static call structure of one type-checked
+// package: which declared function each call site targets, how control
+// reaches the callee (plain call, defer, go), and the bottom-up SCC order a
+// summary computation needs to process callees before callers.
+//
+// Resolution is deliberately conservative. A call is resolved only when the
+// callee is a single statically-known function: a package-level function
+// named directly, or a method called on a value of concrete named type.
+// Everything dynamic — calls through interfaces, function-typed variables,
+// fields, and method values — resolves to nil, the "unknown callee". Callers
+// (internal/lint/summary) must treat an unknown callee as able to do
+// anything and guaranteed to do nothing: it may mutate every argument, but
+// it never *provably* releases, unlocks, or closes one. Degrading to
+// ignorance keeps the derived facts sound.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mode classifies how a call site transfers control to its callee.
+type Mode uint8
+
+const (
+	// Call is an ordinary synchronous call on the enclosing function's path.
+	Call Mode = iota
+	// Defer runs the callee when the enclosing function returns. Statements
+	// inside a directly-deferred literal (`defer func() { ... }()`) also
+	// carry this mode: they execute exactly once, at exit.
+	Defer
+	// Go runs the callee on a new goroutine. Statements inside a
+	// directly-spawned literal (`go func() { ... }()`) also carry this mode.
+	Go
+)
+
+// Site is one call expression inside a declared function.
+type Site struct {
+	Call *ast.CallExpr
+	Mode Mode
+	// Callee is the statically-resolved target, nil when the call is
+	// dynamic (interface, func value, method value) or targets a builtin.
+	// A non-nil Callee may belong to another package; Graph.Node returns
+	// nil for it then.
+	Callee *types.Func
+	// InLiteral marks sites nested inside a function literal other than a
+	// directly deferred/spawned one. Such sites run whenever the literal
+	// runs — possibly never, possibly many times — so synchronous-effect
+	// summaries must ignore them.
+	InLiteral bool
+}
+
+// Node is one declared function with a body and its outgoing call sites in
+// source order.
+type Node struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Sites []Site
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	// order preserves declaration order for deterministic iteration.
+	order []*Node
+}
+
+// Node returns the graph node for fn, or nil when fn is not a declared
+// function of this package (external callee, or resolved but bodyless).
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// Funcs returns the nodes in declaration order.
+func (g *Graph) Funcs() []*Node { return g.order }
+
+// Build constructs the call graph of the package spanned by files.
+func Build(files []*ast.File, info *types.Info) *Graph {
+	g := &Graph{nodes: make(map[*types.Func]*Node)}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Obj: obj, Decl: fd}
+			collectSites(n, fd.Body, info, Call, false)
+			g.nodes[obj] = n
+			g.order = append(g.order, n)
+		}
+	}
+	return g
+}
+
+// collectSites records every call under n (a statement list region) with the
+// given ambient mode. mode upgrades at defer/go statements; inLit is set
+// once the walk enters a literal that is not directly deferred/spawned.
+func collectSites(node *Node, n ast.Node, info *types.Info, mode Mode, inLit bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			collectCall(node, m.Call, info, Defer, inLit)
+			return false
+		case *ast.GoStmt:
+			collectCall(node, m.Call, info, Go, inLit)
+			return false
+		case *ast.FuncLit:
+			collectSites(node, m.Body, info, mode, true)
+			return false
+		case *ast.CallExpr:
+			// Record the call, then walk its arguments (they may contain
+			// further calls) — but resolve the Fun ourselves so a selector
+			// callee is not double-visited.
+			site := Site{Call: m, Mode: mode, Callee: Callee(info, m), InLiteral: inLit}
+			node.Sites = append(node.Sites, site)
+			for _, arg := range m.Args {
+				collectSites(node, arg, info, mode, inLit)
+			}
+			walkFun(node, m.Fun, info, mode, inLit)
+			return false
+		}
+		return true
+	})
+}
+
+// collectCall handles the operand of a defer or go statement: the call
+// itself runs under the statement's mode, while its arguments are evaluated
+// synchronously at the statement.
+func collectCall(node *Node, call *ast.CallExpr, info *types.Info, mode Mode, inLit bool) {
+	site := Site{Call: call, Mode: mode, Callee: Callee(info, call), InLiteral: inLit}
+	node.Sites = append(node.Sites, site)
+	for _, arg := range call.Args {
+		collectSites(node, arg, info, Call, inLit)
+	}
+	walkFun(node, call.Fun, info, mode, inLit)
+}
+
+// walkFun records sites nested inside a call's callee expression. A directly
+// invoked literal's body inherits the ambient mode (`defer func(){...}()`
+// runs at exit, `go func(){...}()` on the new goroutine); a selector callee
+// may hide calls in its receiver expression (getObj().M()).
+func walkFun(node *Node, fun ast.Expr, info *types.Info, mode Mode, inLit bool) {
+	switch fn := unparen(fun).(type) {
+	case *ast.FuncLit:
+		collectSites(node, fn.Body, info, mode, inLit)
+	case *ast.Ident:
+		// A bare name holds no nested calls.
+	case *ast.SelectorExpr:
+		collectSites(node, fn.X, info, Call, inLit)
+	default:
+		collectSites(node, fn, info, Call, inLit)
+	}
+}
+
+// Callee statically resolves the target of call, or returns nil for dynamic
+// and builtin callees. Resolved targets may live in other packages.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Direct name: a package-level function resolves; a variable of
+		// function type (including a bound method value) does not.
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// x.M(...) — resolved only for a method *call* on a concrete
+			// receiver. Field reads of function type (FieldVal) and method
+			// expressions (MethodExpr, T.M) stay dynamic/unhandled.
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			f, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recv := f.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface dispatch: any implementation could run.
+				return nil
+			}
+			return f
+		}
+		// No selection entry: a package-qualified call (pkg.Fn).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr:
+		// Explicit generic instantiation: f[T](...).
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// SCCs returns the strongly connected components of the intra-package call
+// graph in bottom-up order: every component is emitted after all components
+// it calls into, so a summary computation can process the slice front to
+// back and always have callee summaries ready (modulo cycles within one
+// component, which the caller fixpoints). Sites whose callee is unknown or
+// external contribute no edge. Tarjan's algorithm emits components in
+// exactly this order.
+func (g *Graph) SCCs() [][]*Node {
+	type vstate struct {
+		index, lowlink int
+		onStack        bool
+		visited        bool
+	}
+	state := make(map[*Node]*vstate, len(g.order))
+	for _, n := range g.order {
+		state[n] = &vstate{}
+	}
+	var (
+		stack []*Node
+		sccs  [][]*Node
+		next  int
+	)
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		sv := state[v]
+		sv.visited = true
+		sv.index, sv.lowlink = next, next
+		next++
+		stack = append(stack, v)
+		sv.onStack = true
+		for _, site := range v.Sites {
+			w := g.Node(site.Callee)
+			if w == nil {
+				continue
+			}
+			sw := state[w]
+			if !sw.visited {
+				strongconnect(w)
+				if sw.lowlink < sv.lowlink {
+					sv.lowlink = sw.lowlink
+				}
+			} else if sw.onStack && sw.index < sv.lowlink {
+				sv.lowlink = sw.index
+			}
+		}
+		if sv.lowlink == sv.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				state[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range g.order {
+		if !state[n].visited {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// InCycle reports whether n sits on a call cycle: its SCC has more than one
+// member, or it calls itself directly.
+func InCycle(scc []*Node) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	n := scc[0]
+	for _, site := range n.Sites {
+		if site.Callee == n.Obj {
+			return true
+		}
+	}
+	return false
+}

@@ -60,6 +60,12 @@ type Block struct {
 	Succs []*Block
 	Preds []*Block
 
+	// Stuck marks a block that ends by blocking forever rather than by
+	// panicking: an empty select{}. Both shapes have no successors, but they
+	// mean opposite things to a termination analysis — a panic ends the
+	// goroutine, a permanent block leaks it (see StuckBlocks).
+	Stuck bool
+
 	// unreachable marks blocks synthesized after a terminator (dead code
 	// anchors); they keep the builder simple and are skipped by Reachable.
 	unreachable bool
@@ -112,6 +118,71 @@ func (g *Graph) Reachable() []*Block {
 		}
 	}
 	return out
+}
+
+// StuckBlocks returns the reachable blocks from which execution can never
+// terminate: no path leads to the Exit block or to a panic-shaped sink. A
+// goroutine whose body has a stuck block can enter it and then run (or
+// block) forever — the goleak analyzer's core question.
+//
+// stuckNode, if non-nil, classifies individual nodes as themselves
+// non-terminating (a statement call to a function whose summary says it
+// loops forever). A block containing such a node never completes: its own
+// successors do not count as a way out, and predecessors cannot escape
+// through it.
+//
+// Termination here means the path END exists: reaching Exit (return or
+// fall-off) or a no-successor panic sink. A Stuck no-successor block
+// (select{}) is not termination — it is the purest form of the problem.
+func (g *Graph) StuckBlocks(stuckNode func(ast.Node) bool) []*Block {
+	reach := g.Reachable()
+	hasStuckNode := func(b *Block) bool {
+		if stuckNode == nil {
+			return false
+		}
+		for _, n := range b.Nodes {
+			if stuckNode(n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Reverse BFS from the termination set; blocks that contain a stuck node
+	// never complete, so reachability does not propagate through them.
+	canEnd := make(map[*Block]bool, len(reach))
+	var queue []*Block
+	seed := func(b *Block) {
+		if !canEnd[b] {
+			canEnd[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range reach {
+		if hasStuckNode(b) {
+			continue
+		}
+		if b == g.Exit || (len(b.Succs) == 0 && !b.Stuck) {
+			seed(b)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, p := range b.Preds {
+			if !canEnd[p] && !hasStuckNode(p) {
+				seed(p)
+			}
+		}
+	}
+
+	var stuck []*Block
+	for _, b := range reach {
+		if !canEnd[b] {
+			stuck = append(stuck, b)
+		}
+	}
+	return stuck
 }
 
 // labelTarget resolves one label: the block a goto jumps to, plus the
@@ -336,7 +407,10 @@ func (b *builder) stmt(s ast.Stmt) {
 		}
 		b.frames = b.frames[:len(b.frames)-1]
 		if !anyClause {
-			// select{} blocks forever: no successors at all.
+			// select{} blocks forever: no successors at all, and unlike a
+			// panic the path never ends — mark it so termination analyses
+			// (goleak) can tell the two apart.
+			head.Stuck = true
 			b.terminate()
 			return
 		}
@@ -402,6 +476,10 @@ func (b *builder) stmt(s ast.Stmt) {
 // when no default clause exists. Case expressions are recorded in the head
 // (they are all evaluated there, in order, as far as dataflow cares).
 func (b *builder) switchClauses(label string, clauses []ast.Stmt, split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool)) {
+	// A switch nested inside an outer switch's clause must not clobber the
+	// outer clause's fallthrough target: a `fallthrough` written after the
+	// nested switch still belongs to the outer clause.
+	savedFallthrough := b.fallthroughTo
 	head := b.cur
 	head.Branch = Multi
 	done := b.newBlock()
@@ -446,7 +524,7 @@ func (b *builder) switchClauses(label string, clauses []ast.Stmt, split func(*as
 		b.stmtList(info.body)
 		b.edge(b.cur, done)
 	}
-	b.fallthroughTo = nil
+	b.fallthroughTo = savedFallthrough
 	b.frames = b.frames[:len(b.frames)-1]
 	b.cur = done
 }

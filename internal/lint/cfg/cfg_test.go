@@ -505,3 +505,152 @@ func TestReachableDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestFallthroughAfterNestedSwitch(t *testing.T) {
+	// A nested switch inside a clause body must not clobber the outer
+	// clause's pending fallthrough target: the edge from case 1's tail to
+	// case 3's body has to survive building the inner switch.
+	g := buildFunc(t, `func f(x, y int) {
+	switch x {
+	case 1:
+		switch y {
+		case 2:
+			inner()
+		}
+		after()
+		fallthrough
+	case 3:
+		next()
+	}
+	tail()
+}`)
+	if !reaches(callBlock(t, g, "after"), callBlock(t, g, "next")) {
+		t.Error("fallthrough after a nested switch lost its edge to the next clause")
+	}
+	if !reaches(callBlock(t, g, "inner"), callBlock(t, g, "next")) {
+		t.Error("the inner clause path must also flow through the fallthrough")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("function exit unreachable")
+	}
+}
+
+func TestStuckFlagDistinguishesSelectFromPanic(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	select {}
+}`)
+	var sel *Block
+	for _, b := range g.Reachable() {
+		if len(b.Succs) == 0 && b != g.Exit {
+			sel = b
+		}
+	}
+	if sel == nil {
+		t.Fatal("no terminal block for select{}")
+	}
+	if !sel.Stuck {
+		t.Error("select{} block must be marked Stuck")
+	}
+
+	g = buildFunc(t, `func f() {
+	panic("boom")
+}`)
+	for _, b := range g.Reachable() {
+		if b.Stuck {
+			t.Error("panic sink must not be marked Stuck")
+		}
+	}
+}
+
+func TestStuckBlocksInfiniteLoop(t *testing.T) {
+	// for{} with no break: the body can never terminate.
+	g := buildFunc(t, `func f() {
+	for {
+		work()
+	}
+}`)
+	stuck := g.StuckBlocks(nil)
+	if len(stuck) == 0 {
+		t.Fatal("infinite loop reported no stuck blocks")
+	}
+	found := false
+	wb := callBlock(t, g, "work")
+	for _, b := range stuck {
+		if b == wb {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the infinite loop body is not in the stuck set")
+	}
+
+	// The same loop with a break terminates on some path — nothing stuck.
+	g = buildFunc(t, `func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		work()
+	}
+}`)
+	if s := g.StuckBlocks(nil); len(s) != 0 {
+		t.Errorf("loop with break reported %d stuck blocks, want 0", len(s))
+	}
+
+	// A loop whose only way out is a panic still terminates the goroutine.
+	g = buildFunc(t, `func f(c bool) {
+	for {
+		if c {
+			panic("boom")
+		}
+		work()
+	}
+}`)
+	if s := g.StuckBlocks(nil); len(s) != 0 {
+		t.Errorf("loop escaping via panic reported %d stuck blocks, want 0", len(s))
+	}
+
+	// select{} is not a terminator: everything upstream of it is stuck.
+	g = buildFunc(t, `func f() {
+	work()
+	select {}
+}`)
+	if s := g.StuckBlocks(nil); len(s) == 0 {
+		t.Error("path ending in select{} must be stuck")
+	}
+}
+
+func TestStuckBlocksNodeCallback(t *testing.T) {
+	// With a callback classifying spin() as non-terminating, the block
+	// holding it — and everything that can only proceed through it — is
+	// stuck even though the graph shape reaches Exit.
+	g := buildFunc(t, `func f() {
+	work()
+	spin()
+	tail()
+}`)
+	if s := g.StuckBlocks(nil); len(s) != 0 {
+		t.Fatalf("straight-line body reported %d stuck blocks with nil callback", len(s))
+	}
+	stuck := g.StuckBlocks(func(n ast.Node) bool {
+		return callName(n) == "spin"
+	})
+	if len(stuck) == 0 {
+		t.Fatal("stuck-node callback had no effect")
+	}
+	wb := callBlock(t, g, "work")
+	inSet := func(b *Block) bool {
+		for _, s := range stuck {
+			if s == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !inSet(wb) {
+		t.Error("block upstream of the stuck call must be stuck")
+	}
+	if inSet(g.Exit) {
+		t.Error("Exit itself must never be in the stuck set")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lint/cfg"
 	"repro/internal/lint/flow"
+	"repro/internal/lint/summary"
 )
 
 // ErrFlow reports error values that are assigned from a call and then never
@@ -260,7 +261,14 @@ func efReportDeadStores(p *Pass, n *ast.AssignStmt, s efState, rel map[*types.Va
 		if rhs == nil {
 			continue
 		}
-		if _, isCall := unparen(rhs).(*ast.CallExpr); !isCall {
+		call, isCall := unparen(rhs).(*ast.CallExpr)
+		if !isCall {
+			continue
+		}
+		// Interprocedural refinement: a callee proven to return a nil error
+		// on every path makes the unread store harmless — the value being
+		// dropped is always nil, exactly like the exempt `err = nil` reset.
+		if sum := p.Sums.ForCall(call); sum != nil && sum.Error == summary.ErrAlwaysNil {
 			continue
 		}
 		p.Reportf(id.Pos(), "the error assigned to %s is overwritten or dropped before any path reads it", v.Name())

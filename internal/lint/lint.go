@@ -34,6 +34,11 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/summary"
 )
 
 // Diagnostic is one finding: a rule ID, a position, and a message.
@@ -64,6 +69,11 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Sums holds the interprocedural summaries of the package's declared
+	// functions (nil only in tests that construct a Pass by hand). Analyzers
+	// use it to see through in-package helpers: a Release inside a helper, a
+	// lock-courier's net delta, a spawned worker that can never terminate.
+	Sums *summary.Set
 
 	rule       string
 	report     func(Diagnostic)
@@ -82,9 +92,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// All returns the registered analyzers in a stable order. The four CFG
-// analyzers (lockbalance, poolrelease, errflow, ratioguard) are the
-// path-sensitive tier; lockbalance subsumes the v1 syntactic lockheld rule.
+// All returns the registered analyzers in a stable order. The CFG analyzers
+// (lockbalance, poolrelease, errflow, ratioguard) are the path-sensitive
+// tier; lockbalance subsumes the v1 syntactic lockheld rule. The concurrency
+// analyzers (goleak, chandiscipline, wgbalance) sit on the interprocedural
+// tier and consume the per-function summaries in Pass.Sums.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -96,6 +108,9 @@ func All() []*Analyzer {
 		RatioGuard,
 		CtxCheck,
 		ErrDrop,
+		GoLeak,
+		ChanDiscipline,
+		WgBalance,
 	}
 }
 
@@ -109,25 +124,90 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// PkgTiming records how long one package took to analyze: total wall time
+// plus a per-rule breakdown. The pseudo-rule "(setup)" covers the work
+// shared by every analyzer — the suppression table and the interprocedural
+// summaries.
+type PkgTiming struct {
+	Path    string                   `json:"path"`
+	Elapsed time.Duration            `json:"elapsedNs"`
+	Rules   map[string]time.Duration `json:"ruleNs,omitempty"`
+}
+
+// runPackage analyzes one package: it builds the suppression table and the
+// interprocedural summaries, then runs every analyzer, timing each. The
+// returned slice is in analyzer-then-report order; callers sort.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration) {
+	var diags []Diagnostic
+	rules := make(map[string]time.Duration, len(analyzers)+1)
+	start := time.Now()
+	sup, bad := buildSuppressions(pkg.Fset, pkg.Files)
+	diags = append(diags, bad...)
+	sums := summary.Compute(callgraph.Build(pkg.Files, pkg.Info), pkg.Info)
+	rules["(setup)"] = time.Since(start)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Sums:       sums,
+			rule:       a.Name,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+			suppressed: sup.covers,
+		}
+		start = time.Now()
+		a.Run(pass)
+		rules[a.Name] += time.Since(start)
+	}
+	return diags, rules
+}
+
 // Run applies the analyzers to every package and returns the findings
 // sorted by file, line, column, then rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup, bad := buildSuppressions(pkg.Fset, pkg.Files)
-		diags = append(diags, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				rule:       a.Name,
-				report:     func(d Diagnostic) { diags = append(diags, d) },
-				suppressed: sup.covers,
+	diags, _ := RunConcurrent(pkgs, analyzers, 1)
+	return diags
+}
+
+// RunConcurrent is Run with a bounded worker pool over packages. Loading is
+// the caller's problem (the source importer is not safe for concurrent use);
+// analysis of already-type-checked packages is read-only per package, so
+// packages can run in parallel. Results land in per-package slots, so the
+// final ordering is deterministic regardless of scheduling. The second
+// result reports per-package wall time, in the input package order.
+func RunConcurrent(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, []PkgTiming) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) && len(pkgs) > 0 {
+		workers = len(pkgs)
+	}
+	slots := make([][]Diagnostic, len(pkgs))
+	timings := make([]PkgTiming, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				diags, rules := runPackage(pkgs[i], analyzers)
+				slots[i] = diags
+				timings[i] = PkgTiming{Path: pkgs[i].Path, Elapsed: time.Since(start), Rules: rules}
 			}
-			a.Run(pass)
-		}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, s := range slots {
+		diags = append(diags, s...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -145,7 +225,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Msg < b.Msg
 	})
-	return diags
+	return diags, timings
 }
 
 // Suppression comment markers. The block markers must be matched before the

@@ -555,7 +555,8 @@ func leak(cond bool) {
 			name:     "errflow positive overwrite and drop",
 			analyzer: ErrFlow,
 			src: `package fixture
-func step() error { return nil }
+var errStep error
+func step() error { return errStep } // opaque: summary stays ErrUnknown
 func overwrite() error {
 	err := step()
 	err = step() // the first error was never checked
@@ -884,6 +885,173 @@ func write(f *os.File) {
 `,
 			want: nil,
 		},
+
+		// ---- goleak ----
+		{
+			name:     "goleak positive",
+			analyzer: GoLeak,
+			src: `package fixture
+func spin() {
+	for {
+	}
+}
+func spawn() {
+	go spin()
+	go func() {
+		select {}
+	}()
+}
+`,
+			want: []string{"goleak", "goleak"},
+		},
+		{
+			name:     "goleak negative",
+			analyzer: GoLeak,
+			src: `package fixture
+func pump(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}
+func spawn(in, out chan int, quit chan struct{}) {
+	go pump(in, out)
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case v := <-in:
+				out <- v
+			}
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "goleak suppressed",
+			analyzer: GoLeak,
+			src: `package fixture
+func spin() {
+	for {
+	}
+}
+func spawn() {
+	go spin() //vqlint:ignore goleak intentional busy daemon for the demo
+}
+`,
+			want: nil,
+		},
+
+		// ---- chandiscipline ----
+		{
+			name:     "chandiscipline positive",
+			analyzer: ChanDiscipline,
+			src: `package fixture
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+func nilSend() {
+	var ch chan int
+	ch <- 1
+}
+`,
+			want: []string{"chandiscipline", "chandiscipline"},
+		},
+		{
+			name:     "chandiscipline negative",
+			analyzer: ChanDiscipline,
+			src: `package fixture
+func conditional(c bool) {
+	ch := make(chan int)
+	if c {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+func disabled(a chan int) {
+	var b chan int
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "chandiscipline suppressed",
+			analyzer: ChanDiscipline,
+			src: `package fixture
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) //vqlint:ignore chandiscipline deliberate panic under test
+}
+`,
+			want: nil,
+		},
+
+		// ---- wgbalance ----
+		{
+			name:     "wgbalance positive",
+			analyzer: WgBalance,
+			src: `package fixture
+import "sync"
+func negative() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done()
+}
+func stuck() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait()
+}
+`,
+			want: []string{"wgbalance", "wgbalance"},
+		},
+		{
+			name:     "wgbalance negative",
+			analyzer: WgBalance,
+			src: `package fixture
+import "sync"
+func pool(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+func worker(wg *sync.WaitGroup, work func()) {
+	defer wg.Done()
+	work()
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "wgbalance suppressed",
+			analyzer: WgBalance,
+			src: `package fixture
+import "sync"
+func stuck() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() //vqlint:ignore wgbalance deadlock fixture for the watchdog test
+}
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {
@@ -956,7 +1124,8 @@ func leakRes(cond bool) int {
 	r.Release()
 	return 1
 }
-func step() error { return nil }
+var errStep error
+func step() error { return errStep }
 func overwrite() error {
 	err := step()
 	err = step()
@@ -964,6 +1133,23 @@ func overwrite() error {
 }
 func ratio(problems, total int) float64 {
 	return float64(problems) / float64(total)
+}
+func spinner() {
+	for {
+	}
+}
+func spawnLeaks() {
+	go spinner()
+}
+func channelAbuse() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+func wgAbuse() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait()
 }
 `
 	got := analyzeSrc(t, src, All()...)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lint/cfg"
 	"repro/internal/lint/flow"
+	"repro/internal/lint/summary"
 )
 
 // LockBalance reports lock/unlock imbalance on sync.Mutex and sync.RWMutex
@@ -175,6 +176,7 @@ func lbTransfer(p *Pass, b *cfg.Block, g *cfg.Graph, s lbState, lenient bool, re
 			}
 			recv, op := mutexCall(p, call)
 			if op == "" {
+				lbApplyCallee(p, call, s, false, lenient, report)
 				continue
 			}
 			k := lbKey{recv: recv, read: op == "RLock" || op == "RUnlock"}
@@ -214,6 +216,14 @@ func lbTransfer(p *Pass, b *cfg.Block, g *cfg.Graph, s lbState, lenient bool, re
 				iv.lo, iv.hi = lbClamp(iv.lo-1), lbClamp(iv.hi-1)
 				s[k] = iv
 			}
+			// A deferred in-package helper with a proven net-unlock effect
+			// (`defer c.unlockAll()`) credits its unlocks immediately, the
+			// same convention as `defer mu.Unlock()`.
+			if _, op := mutexCall(p, n.Call); op == "" {
+				if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+					lbApplyCallee(p, n.Call, s, true, lenient, report)
+				}
+			}
 
 		case *ast.ReturnStmt:
 			if report != nil {
@@ -224,6 +234,78 @@ func lbTransfer(p *Pass, b *cfg.Block, g *cfg.Graph, s lbState, lenient bool, re
 	if report != nil && blockFallsToExit(b, g) {
 		lbCheckExit(s, g.End, "the end of the function", report)
 	}
+}
+
+// lbApplyCallee maps an in-package callee's net mutex deltas onto the
+// caller's keys: a helper that provably returns holding `c.mu` (delta +1 on
+// its receiver's .mu) makes the caller's count go up at the call site, so
+// leaks and double-locks through helpers surface in the caller. A callee
+// whose lock behavior is conditional or unknown has no delta entry and —
+// like before the interprocedural tier — leaves the state untouched.
+// deferred marks `defer helper()`: only unlock credits apply (the helper
+// runs at exit, so lock acquisitions there are outside this accounting).
+func lbApplyCallee(p *Pass, call *ast.CallExpr, s lbState, deferred, lenient bool, report func(token.Pos, string, ...any)) {
+	sum := p.Sums.ForCall(call)
+	if sum == nil || len(sum.MutexDelta) == 0 {
+		return
+	}
+	for mref, delta := range sum.MutexDelta {
+		base, ok := lbArgBase(call, mref.Param)
+		if !ok || delta == 0 {
+			continue
+		}
+		// Deltas beyond the interval cap behave identically to the cap.
+		if delta > lbCap {
+			delta = lbCap
+		} else if delta < -lbCap {
+			delta = -lbCap
+		}
+		d := int8(delta)
+		k := lbKey{recv: base + mref.Path, read: mref.Read}
+		iv := s[k]
+		if d > 0 {
+			if deferred {
+				continue
+			}
+			if !k.read && iv.lo >= 1 && report != nil {
+				report(call.Pos(), "%s locks %s which is already locked on every path to here (self-deadlock)", calleeLabel(call), k.recv)
+			}
+			iv.lo, iv.hi = lbClamp(iv.lo+d), lbClamp(iv.hi+d)
+			s[k] = iv
+			continue
+		}
+		for n := -d; n > 0; n-- {
+			switch {
+			case iv.hi <= 0:
+				if !lenient && report != nil {
+					report(call.Pos(), "%s unlocks %s without a matching %s on any path to here", calleeLabel(call), k.recv, k.lockOp())
+				}
+				// As with a direct unmatched unlock: report once, don't
+				// cascade negative counts.
+				n = 0
+			case iv.lo <= 0:
+				iv.hi = lbClamp(iv.hi - 1)
+			default:
+				iv.lo, iv.hi = lbClamp(iv.lo-1), lbClamp(iv.hi-1)
+			}
+		}
+		s[k] = iv
+	}
+}
+
+// lbArgBase renders the caller-side expression bound to a callee parameter
+// (or receiver) as a key base.
+func lbArgBase(call *ast.CallExpr, param int) (string, bool) {
+	if param == summary.Recv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return renderWgBase(sel.X), true
+		}
+		return "", false
+	}
+	if param < 0 || param >= len(call.Args) {
+		return "", false
+	}
+	return renderWgBase(call.Args[param]), true
 }
 
 // lbCheckExit reports outstanding or over-credited locks at a path end.

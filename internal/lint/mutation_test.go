@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestMutationKill proves the concurrency analyzers guard real code, not
+// just fixtures: each case applies one small mutation to the heartbeat
+// layer's AST — the kind of edit a careless refactor makes — and asserts
+// vqlint fails on the mutated package with the expected rule. The package is
+// reloaded per case because mutations are destructive; type information
+// survives node removal and duplication since it is keyed by node identity.
+func TestMutationKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/heartbeat repeatedly")
+	}
+	cases := []struct {
+		name string
+		rule string
+		// mutate edits the package in place and reports whether it found
+		// its target — a false return means the real code changed shape and
+		// the test must be updated, not silently skipped.
+		mutate  func(pkg *Package) bool
+		wantMsg string
+	}{
+		{
+			name:    "delete wg.Done in Spool.run",
+			rule:    "wgbalance",
+			mutate:  func(pkg *Package) bool { return deleteStmt(pkg, "Spool", "run", isWgDoneDefer) },
+			wantMsg: "counter is still positive",
+		},
+		{
+			name:    "duplicate close(done) in Collector.CloseGrace's waiter",
+			rule:    "chandiscipline",
+			mutate:  duplicateWaiterClose,
+			wantMsg: "already closed on every path",
+		},
+		{
+			name:    "delete the exits of Collector.acceptLoop",
+			rule:    "goleak",
+			mutate:  func(pkg *Package) bool { return deleteStmt(pkg, "Collector", "acceptLoop", isReturn) },
+			wantMsg: "can run forever with no channel operation",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs, err := Load("../..", []string{"./internal/heartbeat"})
+			if err != nil {
+				t.Fatalf("loading internal/heartbeat: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			pkg := pkgs[0]
+			if !tc.mutate(pkg) {
+				t.Fatal("mutation target not found; the heartbeat layer changed shape — update this test")
+			}
+			diags := Run(pkgs, All())
+			for _, d := range diags {
+				if d.Rule == tc.rule && strings.Contains(d.Msg, tc.wantMsg) {
+					return
+				}
+			}
+			t.Errorf("mutation survived: no %s diagnostic matching %q; got:\n%s",
+				tc.rule, tc.wantMsg, formatDiags(diags))
+		})
+	}
+}
+
+// TestHeartbeatCleanBeforeMutation is the control: the unmutated package
+// must be finding-free, so every TestMutationKill hit is caused by its
+// mutation alone.
+func TestHeartbeatCleanBeforeMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/heartbeat")
+	}
+	pkgs, err := Load("../..", []string{"./internal/heartbeat"})
+	if err != nil {
+		t.Fatalf("loading internal/heartbeat: %v", err)
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		t.Errorf("unmutated heartbeat layer has findings:\n%s", formatDiags(diags))
+	}
+}
+
+func isWgDoneDefer(s ast.Stmt) bool {
+	d, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+func isReturn(s ast.Stmt) bool {
+	_, ok := s.(*ast.ReturnStmt)
+	return ok
+}
+
+// deleteStmt removes every statement matching pred (at any nesting depth)
+// from the named method's body.
+func deleteStmt(pkg *Package, recvName, funcName string, pred func(ast.Stmt) bool) bool {
+	fn := findMethod(pkg, recvName, funcName)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		kept := block.List[:0]
+		for _, s := range block.List {
+			if pred(s) {
+				found = true
+				continue
+			}
+			kept = append(kept, s)
+		}
+		block.List = kept
+		return true
+	})
+	return found
+}
+
+// duplicateWaiterClose doubles the close(done) statement inside the waiter
+// goroutine literal of Collector.CloseGrace. Reusing the original node keeps
+// its type information valid, and the second occurrence runs with the
+// channel already definitely closed.
+func duplicateWaiterClose(pkg *Package) bool {
+	fn := findMethod(pkg, "Collector", "CloseGrace")
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || found {
+			return !found
+		}
+		for i, s := range lit.Body.List {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "close" {
+				continue
+			}
+			lit.Body.List = append(lit.Body.List[:i+1], append([]ast.Stmt{es}, lit.Body.List[i+1:]...)...)
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// findMethod locates recvName's method by name (several heartbeat types
+// have a Close, so the receiver matters).
+func findMethod(pkg *Package, recvName, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvName {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lint/cfg"
 	"repro/internal/lint/flow"
+	"repro/internal/lint/summary"
 )
 
 // PoolRelease reports pooled values that can leak: a value obtained from a
@@ -419,8 +420,11 @@ func isSyncPool(p *Pass, e ast.Expr) bool {
 
 // prApplyRelease marks tracked variables released by this call:
 // `x.Release()` or `pool.Put(x)` (or any call named Put whose argument is a
-// tracked identifier, covering typed pool wrappers).
+// tracked identifier, covering typed pool wrappers) — and, interprocedurally,
+// any in-package callee whose summary proves it releases the parameter the
+// tracked value is passed as, on every path.
 func prApplyRelease(p *Pass, s prState, call *ast.CallExpr) {
+	prApplyCalleeReleases(p, s, call)
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -448,6 +452,44 @@ func prApplyRelease(p *Pass, s prState, call *ast.CallExpr) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// prApplyCalleeReleases discharges obligations through a callee summary: a
+// helper that provably calls Release/Put on its i-th parameter (or its
+// receiver) on every path releases the argument here, so wrappers like
+// `cleanup(tbl)` no longer read as leaks.
+func prApplyCalleeReleases(p *Pass, s prState, call *ast.CallExpr) {
+	if len(s) == 0 {
+		return
+	}
+	sum := p.Sums.ForCall(call)
+	if sum == nil || len(sum.Releases) == 0 {
+		return
+	}
+	release := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if v := prObjOf(p, id); v != nil {
+				if f, tracked := s[v]; tracked {
+					f.released = true
+					s[v] = f
+				}
+			}
+		}
+	}
+	for ref := range sum.Releases {
+		if ref.Path != "" {
+			continue // a field of the argument, not the argument itself
+		}
+		if ref.Param == summary.Recv {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				release(sel.X)
+			}
+			continue
+		}
+		if ref.Param >= 0 && ref.Param < len(call.Args) {
+			release(call.Args[ref.Param])
 		}
 	}
 }

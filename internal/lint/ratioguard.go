@@ -177,9 +177,18 @@ func rgTransferNode(p *Pass, n ast.Node, s rgState, _ bool) {
 	case *ast.AssignStmt:
 		names := make([]string, 0, len(n.Lhs))
 		for _, lhs := range n.Lhs {
-			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
-				names = append(names, id.Name)
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name != "_" {
+					names = append(names, id.Name)
+				}
+				continue
 			}
+			// Writing through a selector/index/deref (s.n = 0) mutates state
+			// reachable from its base identifiers: every fact depending on
+			// them is stale now. Killing by base is coarser than killing the
+			// exact path, but a stale "non-zero" fact surviving here is a
+			// missed division-by-zero — the expensive direction.
+			names = append(names, rgBaseIdents(lhs)...)
 		}
 		rgKill(s, names)
 		if len(n.Lhs) == len(n.Rhs) && (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) {

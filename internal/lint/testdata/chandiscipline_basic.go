@@ -1,0 +1,114 @@
+// Package chandiscipline_basic pins the channel state machine: definite
+// double closes, sends on closed channels, nil-channel operations that
+// block forever — and the idioms that must stay silent (conditional close,
+// nil-in-select case disabling, close through a helper seen exactly once).
+package chandiscipline_basic
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of ch which is already closed on every path to here"
+}
+
+func sendOnClosed() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch which is closed on every path to here"
+}
+
+func closeNil() {
+	var ch chan int
+	close(ch) // want "close of nil channel ch"
+}
+
+func sendOnNil() {
+	var ch chan int
+	ch <- 1 // want "send on nil channel ch blocks forever"
+}
+
+func receiveFromNil() int {
+	var ch chan int
+	return <-ch // want "receive from nil channel ch blocks forever"
+}
+
+func rangeOverNil() {
+	var ch chan int
+	for range ch { // want "range over nil channel ch blocks forever"
+	}
+}
+
+// closeAll is an in-package helper with a definite Closes fact.
+func closeAll(ch chan int) {
+	close(ch)
+}
+
+func doubleCloseViaHelper() {
+	ch := make(chan int)
+	close(ch)
+	closeAll(ch) // want "closeAll closes ch which is already closed on every path to here"
+}
+
+func deferredDoubleClose() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch)
+} // want "deferred close of ch runs here after ch is already closed on every path"
+
+func deferredTwice() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want "close of ch deferred twice"
+}
+
+// conditionalClose: the closed state is not definite afterwards, so the
+// second close must not be reported.
+func conditionalClose(c bool) {
+	ch := make(chan int)
+	if c {
+		close(ch)
+	}
+	if !c {
+		close(ch)
+	}
+}
+
+// nilInSelect is the case-disabling idiom: a nil channel in a select comm
+// clause simply never fires. Must stay silent.
+func nilInSelect(a chan int) int {
+	var b chan int
+	total := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-a:
+			total += v
+		case v := <-b:
+			total += v
+		}
+	}
+	return total
+}
+
+// reopened: reassignment with a fresh make resets the state.
+func reopened() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// escaped: a channel captured by a stored literal is untracked — the
+// literal may close it at any time.
+func escaped() {
+	ch := make(chan int)
+	f := func() { close(ch) }
+	f()
+	close(ch)
+}
+
+// suppressedDoubleClose: the ignore comment silences the finding.
+func suppressedDoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) //vqlint:ignore chandiscipline deliberate panic in this fixture
+}

@@ -46,3 +46,14 @@ func named() (err error) {
 	err = probe()
 	return
 }
+
+// neverFails always returns nil — its summary proves Error == always-nil.
+func neverFails() error { return nil }
+
+// Interprocedural negative: dropping a provably-nil error is the same as
+// the exempt `err = nil` reset, so the unread store is not reported.
+func dropsProvenNil() error {
+	err := neverFails()
+	err = probe()
+	return err
+}

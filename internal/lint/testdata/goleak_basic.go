@@ -1,0 +1,82 @@
+// Package goleak_basic pins the goroutine-leak analyzer: a spawned
+// goroutine that can spin or block forever with no channel operation in its
+// stuck region is unstoppable by construction and leaks for the life of the
+// process. Interprocedurally: spawning a named function whose summary says
+// the same is the identical bug one hop away.
+package goleak_basic
+
+import "time"
+
+// spinner never terminates and touches no channel: the summary carries
+// NeverTerminates + StuckNoComm up to every spawn site.
+func spinner() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// wrapper inherits spinner's never-terminates fact through the call.
+func wrapper() {
+	spinner()
+}
+
+func spawnLiteralSpin() {
+	go func() { // want "goroutine can run forever with no channel operation"
+		for {
+		}
+	}()
+}
+
+func spawnLiteralSelect() {
+	go func() { // want "goroutine can run forever with no channel operation"
+		select {}
+	}()
+}
+
+func spawnNamedSpinner() {
+	go spinner() // want "goroutine spinner can run forever with no channel operation"
+}
+
+func spawnThroughWrapper() {
+	go wrapper() // want "goroutine wrapper can run forever with no channel operation"
+}
+
+// eventLoop also never terminates, but its loop receives on a channel:
+// something external can signal it, so it is not a leak by this rule.
+func eventLoop(ch chan int, out chan<- int) {
+	for {
+		out <- <-ch
+	}
+}
+
+func spawnEventLoop(ch chan int, out chan<- int) {
+	go eventLoop(ch, out)
+}
+
+// stoppable literal: the quit channel gives the region a comm op.
+func spawnStoppable(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// terminating worker: plain loop that ends — no stuck region at all.
+func spawnFinite(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// suppressed: the report lands on the go statement, so the ignore comment
+// covers it there.
+func spawnSuppressed() {
+	//vqlint:ignore goleak demo daemon is intentionally unstoppable
+	go spinner()
+}

@@ -48,3 +48,39 @@ func branches(s *store, flush bool) int {
 	s.mu.Unlock()
 	return n
 }
+
+// lockStore/unlockStore carry definite ±1 deltas on their parameter's .mu in
+// their summaries; the imbalance below only surfaces interprocedurally. A
+// deliberate lock helper suppresses its own local imbalance report — its
+// callers are still charged through the summary.
+func lockStore(s *store)   { s.mu.Lock() }   //vqlint:ignore lockbalance lock helper returns holding s.mu by design
+func unlockStore(s *store) { s.mu.Unlock() } //vqlint:ignore lockbalance unlock helper, paired with lockStore
+
+// Interprocedural negative: lock and unlock through helpers balance.
+func viaHelpers(s *store) int {
+	lockStore(s)
+	n := s.n
+	unlockStore(s)
+	return n
+}
+
+// Interprocedural positive: the helper returns holding the lock and the
+// early path leaks it.
+func leakViaHelper(s *store, flush bool) int {
+	lockStore(s)
+	if flush {
+		return 0 // want "s.mu reaches this return still locked"
+	}
+	n := s.n
+	unlockStore(s)
+	return n
+}
+
+// Interprocedural positive: locking twice through the helper is the same
+// self-deadlock as two direct Lock calls.
+func doubleLockViaHelper(s *store) {
+	lockStore(s)
+	lockStore(s) // want "lockStore locks s.mu which is already locked on every path to here"
+	unlockStore(s)
+	unlockStore(s)
+}

@@ -1,0 +1,43 @@
+// Package lockbalance_fallthrough pins the CFG repair for fallthrough after
+// a nested switch: the pending fallthrough edge must survive the inner
+// switch's own clause wiring. Before the fix the edge was dropped, so lock
+// state never flowed from the falling-through case into the next one —
+// hiding leaks (and, in the other direction, fabricating them).
+package lockbalance_fallthrough
+
+import "sync"
+
+// leakThroughFallthrough: the lock taken in case 1 rides the fallthrough
+// (through a nested switch) into case 3, which returns without unlocking.
+// With the fallthrough edge dropped, the locked state never arrived and
+// this leak was invisible.
+func leakThroughFallthrough(mu *sync.Mutex, x, y int) {
+	switch x {
+	case 1:
+		mu.Lock()
+		switch y {
+		case 2:
+		}
+		fallthrough
+	case 3:
+		return // want "mu may reach this return still locked"
+	}
+}
+
+// balancedThroughFallthrough: every path into case 3 (direct or via the
+// fallthrough) and the default unlock exactly once. A dropped fallthrough
+// edge would leave case 1's lock unmatched and report a false leak here.
+func balancedThroughFallthrough(mu *sync.Mutex, x, y int) {
+	mu.Lock()
+	switch x {
+	case 1:
+		switch y {
+		case 2:
+		}
+		fallthrough
+	case 3:
+		mu.Unlock()
+	default:
+		mu.Unlock()
+	}
+}

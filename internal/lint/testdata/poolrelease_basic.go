@@ -57,3 +57,30 @@ func crashes(fail bool) {
 	}
 	b.Release()
 }
+
+// cleanup releases its parameter on every path: its summary discharges the
+// caller's obligation at the call site.
+func cleanup(b *buf) {
+	b.data = b.data[:0]
+	b.Release()
+}
+
+// maybeCleanup releases only sometimes, so it proves nothing.
+func maybeCleanup(b *buf, keep bool) {
+	if !keep {
+		b.Release()
+	}
+}
+
+// Interprocedural negative: the release happens inside the helper.
+func releasedViaHelper() {
+	b := Acquire()
+	cleanup(b)
+}
+
+// Interprocedural positive: a conditional release in the helper is not a
+// release on every path, so the obligation stands.
+func maybeReleasedViaHelper(keep bool) {
+	b := Acquire()
+	maybeCleanup(b, keep)
+} // want "b acquired from Acquire .* does not reach Release/Put"

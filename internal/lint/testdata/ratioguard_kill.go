@@ -1,0 +1,49 @@
+// Package ratioguard_kill pins the selector-assignment kill: a guard fact
+// about a field must die when the field (or anything reachable from its
+// base) is written through a selector, index, or dereference — not only
+// when the bare identifier is reassigned.
+package ratioguard_kill
+
+type stats struct {
+	n     int
+	total float64
+}
+
+// selectorKill: the guard proves s.n != 0, then s.n = 0 invalidates it.
+// Before the kill fix the stale fact suppressed this report.
+func selectorKill(s *stats, x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	s.n = 0
+	return x / float64(s.n) // want "division by float64\(s.n\) is not dominated"
+}
+
+// baseKill: writing a *different* field through the same base also kills —
+// coarse by design, because the analysis cannot prove s.total and s.n are
+// unaliased after arbitrary writes through s.
+func baseKill(s *stats, x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	s.total = 0
+	return x / float64(s.n) // want "division by float64\(s.n\) is not dominated"
+}
+
+// guardHolds: no intervening write — the guard must keep suppressing.
+func guardHolds(s *stats, x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return x / float64(s.n)
+}
+
+// unrelatedWrite: mutating a different base variable leaves the fact about
+// s.n alive — the kill is keyed on base identifiers, not a blanket wipe.
+func unrelatedWrite(s *stats, other *stats, x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	other.n = 1
+	return x / float64(s.n)
+}

@@ -1,0 +1,104 @@
+// Package wgbalance_basic pins the WaitGroup accounting: guaranteed
+// negative counters, Waits that can never return, locally-leaked positive
+// counters, and the Add-inside-goroutine race — against the worker-pool
+// idioms that must stay silent.
+package wgbalance_basic
+
+import "sync"
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want "wg.Done\(\) without a matching Add on any path to here"
+}
+
+func waitForever() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want "wg.Wait\(\) blocks forever"
+}
+
+func leakedCounter(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	work()
+} // want "wg counter is still positive here on every path"
+
+func addInsideGoroutine(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "wg.Add\(\) inside the spawned goroutine races with Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// track is an in-package helper whose summary carries the Add.
+func track(wg *sync.WaitGroup) {
+	wg.Add(1)
+}
+
+// finish is its counterpart carrying the Done.
+func finish(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+func doneViaHelperBelowZero() {
+	var wg sync.WaitGroup
+	track(&wg)
+	finish(&wg)
+	finish(&wg) // want "wg.Done\(\) without a matching Add on any path to here"
+}
+
+// pool is the canonical worker-pool shape: Add before spawn, Done inside
+// the goroutine (credited at the go statement), Wait balanced. Silent.
+func pool(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// workerSide only calls Done: the Add happened in its caller. A key is
+// created only by Add, so the worker side is never flagged here.
+func workerSide(wg *sync.WaitGroup, work func()) {
+	defer wg.Done()
+	work()
+}
+
+// escaped: handing the WaitGroup to an unknown callee poisons the key —
+// the callee may Add or Done arbitrarily, so no report can be definite.
+func escaped(register func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	register(&wg)
+	wg.Wait()
+}
+
+// conditionalAdd: the counter is positive on only one path into Wait, so
+// the block-forever report (which needs every path) must stay silent.
+func conditionalAdd(c bool, wg2 chan struct{}) {
+	var wg sync.WaitGroup
+	if c {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-wg2
+		}()
+	}
+	wg.Wait()
+}
+
+// suppressed: the ignore comment covers the finding's line.
+func suppressed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() //vqlint:ignore wgbalance demo of a deliberate deadlock
+}

@@ -20,6 +20,15 @@ var wantCorpusAnalyzers = map[string][]*Analyzer{
 	"poolrelease_basic.go": {PoolRelease},
 	"errflow_basic.go":     {ErrFlow},
 	"ratioguard_basic.go":  {RatioGuard},
+
+	// Promoted regression repros (formerly zz_repro_test.go).
+	"ratioguard_kill.go":         {RatioGuard},
+	"lockbalance_fallthrough.go": {LockBalance},
+
+	// Interprocedural concurrency analyzers.
+	"goleak_basic.go":         {GoLeak},
+	"chandiscipline_basic.go": {ChanDiscipline},
+	"wgbalance_basic.go":      {WgBalance},
 }
 
 // TestWantCorpus runs the golden fixtures: every line carrying a

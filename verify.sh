@@ -7,8 +7,9 @@
 #                      equality, map-order determinism, lock copying,
 #                      goroutine shutdown, dropped errors) plus the
 #                      path-sensitive CFG/dataflow rules (lockbalance,
-#                      poolrelease, errflow, ratioguard); non-zero exit on
-#                      any finding
+#                      poolrelease, errflow, ratioguard, goleak,
+#                      chandiscipline, wgbalance), made interprocedural by
+#                      per-function summaries; non-zero exit on any finding
 #   4. go test -race — the full suite under the race detector
 set -eux
 
