@@ -7,7 +7,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -394,6 +396,66 @@ func BenchmarkCriticalDetect(b *testing.B) {
 		if _, err := core.AnalyzeEpoch(10, lites, coreCfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// parallelBenchLites caches the large digest sets BenchmarkAnalyzeEpochParallel
+// analyzes, keyed by epoch size: the -cpu sweep re-enters the benchmark once
+// per GOMAXPROCS value and must not pay million-session synthesis each time.
+var (
+	parallelBenchMu    sync.Mutex
+	parallelBenchLites = map[int][]cluster.Lite{}
+)
+
+func litesForParallelBench(b *testing.B, n int) []cluster.Lite {
+	b.Helper()
+	parallelBenchMu.Lock()
+	defer parallelBenchMu.Unlock()
+	if lites, ok := parallelBenchLites[n]; ok {
+		return lites
+	}
+	genCfg, coreCfg := benchConfig()
+	genCfg.SessionsPerEpoch = n
+	g, err := synth.New(genCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := g.EpochSessions(10)
+	lites := make([]cluster.Lite, len(batch))
+	for i := range batch {
+		lites[i] = cluster.Digest(&batch[i], coreCfg.Thresholds)
+	}
+	parallelBenchLites[n] = lites
+	return lites
+}
+
+// BenchmarkAnalyzeEpochParallel is the committed scaling benchmark for the
+// sharded epoch-analysis engine: one full AnalyzeEpoch (sharded table build,
+// tree merge, per-metric critical detection fan-out) per iteration, with the
+// worker count following GOMAXPROCS so `go test -cpu 1,2,4,8` sweeps the
+// shard count. scripts/bench.sh's scaling mode records it as BENCH_sharded.
+func BenchmarkAnalyzeEpochParallel(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			lites := litesForParallelBench(b, n)
+			_, coreCfg := benchConfig()
+			coreCfg.Workers = runtime.GOMAXPROCS(0)
+			// One untimed epoch warms the shard-table pool so the committed
+			// numbers measure the steady state (a long-running monitor reuses
+			// pooled tables every epoch), not the first-epoch cold allocation
+			// of W shard arrays.
+			if _, err := core.AnalyzeEpoch(10, lites, coreCfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeEpoch(10, lites, coreCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(coreCfg.Workers), "workers")
+		})
 	}
 }
 

@@ -120,6 +120,8 @@ func main() {
 		minSess    = flag.Int("min-sessions", 0, "override the cluster size floor (0 = scale from volume)")
 		drill      = flag.String("drill", "", "diagnose this cluster (e.g. \"CDN=cdn-03\"); requires -metric and -epoch")
 		drillEpoch = flag.Int("epoch", 0, "epoch for -drill")
+		workers    = flag.Int("workers", 0, "analysis shards per epoch (0 = GOMAXPROCS)")
+		pipeDepth  = flag.Int("pipeline-depth", 1, "completed epochs buffered between trace reading and analysis")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -154,6 +156,8 @@ func main() {
 	if *minSess > 0 {
 		cfg.Thresholds.MinClusterSessions = *minSess
 	}
+	cfg.Workers = *workers
+	cfg.PipelineDepth = *pipeDepth
 
 	if *drill != "" {
 		if err := runDrill(space, *path, *drill, *metricName, *drillEpoch, cfg); err != nil {

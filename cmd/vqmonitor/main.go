@@ -36,6 +36,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "synthetic universe seed")
 		actionable = flag.Bool("actionable", false, "print only actionable alerts (persisted ≥ 2 hours)")
 		metricName = flag.String("metric", "", "restrict alerts to one metric")
+		workers    = flag.Int("workers", 0, "analysis shards per epoch (0 = GOMAXPROCS)")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "overlap epoch analysis with ingestion, buffering this many completed epochs (0 = synchronous)")
 	)
 	flag.Parse()
 
@@ -95,9 +97,14 @@ func main() {
 		feed = func(d *online.Detector) error { return g.ForEach(d.Add) }
 	}
 
-	d, err := online.NewDetector(core.DefaultConfig(perEpoch), emit)
+	cfg := core.DefaultConfig(perEpoch)
+	cfg.Workers = *workers
+	d, err := online.NewDetector(cfg, emit)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pipeDepth > 0 {
+		d.Pipeline(*pipeDepth)
 	}
 	if err := feed(d); err != nil {
 		log.Fatal(err)
@@ -106,4 +113,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "vqmonitor: %d epochs, %d alerts\n", d.Epochs, d.Alerts)
+	if *pipeDepth > 0 {
+		st := d.PipelineStats()
+		fmt.Fprintf(os.Stderr, "vqmonitor: pipeline %d submit stalls (analysis-bound), %d input waits (ingest-bound)\n",
+			st.SubmitStalls, st.InputWaits)
+	}
 }

@@ -1,0 +1,166 @@
+// Differential harness for the sharded aggregation path: NewTableParallel
+// must be indistinguishable from NewTable for every worker count — same
+// root, same cardinality, same cells both ways — and the full sharded
+// AnalyzeEpoch must reproduce the serial epoch result bit for bit,
+// including the float attribution tallies, for any worker count and across
+// pooled-table reuse.
+package cluster_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// assertTablesEqual compares two tables cell-for-cell in both lookup
+// directions, so an extra key in either one is caught.
+func assertTablesEqual(t *testing.T, label string, got, want *cluster.Table) {
+	t.Helper()
+	if got.Root != want.Root {
+		t.Fatalf("%s: root %+v != %+v", label, got.Root, want.Root)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: len %d != %d", label, got.Len(), want.Len())
+	}
+	got.ForEach(func(k attr.Key, c cluster.Counts) {
+		if w := want.Get(k); w != c {
+			t.Fatalf("%s: key %v sharded %+v serial %+v", label, k, c, w)
+		}
+	})
+	want.ForEach(func(k attr.Key, c cluster.Counts) {
+		if g := got.Get(k); g != c {
+			t.Fatalf("%s: key %v serial %+v sharded %+v", label, k, c, g)
+		}
+	})
+}
+
+// TestShardedTableVsSerial: for randomized epochs across shapes, the
+// sharded table build agrees with the serial build for worker counts 1..8.
+func TestShardedTableVsSerial(t *testing.T) {
+	trials := []struct {
+		seed     int64
+		sessions int
+		card     int32
+		maxDims  int
+	}{
+		{seed: 21, sessions: 700, card: 3, maxDims: 0},
+		{seed: 22, sessions: 400, card: 2, maxDims: 0},
+		{seed: 23, sessions: 900, card: 4, maxDims: 3},
+		{seed: 24, sessions: 60, card: 8, maxDims: 0}, // sparse, fewer sessions than some shard counts would like
+		{seed: 25, sessions: 3, card: 2, maxDims: 2},  // fewer sessions than workers
+	}
+	for _, tr := range trials {
+		rng := rand.New(rand.NewSource(tr.seed))
+		lites := genLites(rng, tr.sessions, tr.card)
+		serial := cluster.NewTable(9, lites, tr.maxDims)
+		for workers := 1; workers <= 8; workers++ {
+			sharded := cluster.NewTableParallel(9, lites, tr.maxDims, workers)
+			assertTablesEqual(t, "trial", sharded, serial)
+			if sharded.Epoch != serial.Epoch || sharded.MaxDims != serial.MaxDims {
+				t.Fatalf("trial %d w=%d: metadata %d/%d vs %d/%d",
+					tr.seed, workers, sharded.Epoch, sharded.MaxDims, serial.Epoch, serial.MaxDims)
+			}
+			sharded.Release()
+		}
+		serial.Release()
+	}
+}
+
+// TestShardedAnalyzeEpochVsSerial: the full epoch analysis — problem views,
+// critical clusters, attribution tallies, HHH-free observables, everything
+// in EpochResult — is deeply equal between the serial path and the sharded
+// path for every worker count. The epoch is sized above core's sharding
+// volume gate so the parallel path genuinely runs.
+func TestShardedAnalyzeEpochVsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lites := genLites(rng, 4000, 3)
+	cfg := core.DefaultConfig(len(lites))
+	cfg.Thresholds.MinClusterSessions = 25
+	cfg.KeepProblemKeys = true
+	cfg.Workers = 1
+	serial, err := core.AnalyzeEpoch(9, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		cfg.Workers = workers
+		sharded, err := core.AnalyzeEpoch(9, lites, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("workers=%d: sharded epoch result differs from serial", workers)
+		}
+	}
+}
+
+// TestShardedPooledReuseDeterminism: repeated sharded analyses interleaved
+// with differently-shaped epochs keep producing results identical to the
+// first — pooled shard tables and shard-id buffers must not leak state.
+func TestShardedPooledReuseDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lites := genLites(rng, 3000, 3)
+	cfg := core.DefaultConfig(len(lites))
+	cfg.Thresholds.MinClusterSessions = 20
+	cfg.KeepProblemKeys = true
+	cfg.Workers = 4
+	first, err := core.AnalyzeEpoch(2, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := genLites(rng, 6000, 5)
+	for i := 0; i < 3; i++ {
+		// Dirty the pools with a larger epoch at a different worker count...
+		bigCfg := cfg
+		bigCfg.Workers = 7 - 2*i
+		if _, err := core.AnalyzeEpoch(3, big, bigCfg); err != nil {
+			t.Fatal(err)
+		}
+		// ...then the original epoch must still reproduce bit for bit.
+		again, err := core.AnalyzeEpoch(2, lites, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("round %d: sharded result drifted after pooled reuse", i+1)
+		}
+	}
+}
+
+// FuzzShardedVsSerial fuzzes byte-string-derived session sets across worker
+// counts, catching shard-partition or merge edge cases the fixed trials
+// miss (single-cell epochs, all-failed epochs, vectors that collide).
+func FuzzShardedVsSerial(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(2), uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 9, 9, 9, 1, 2}, uint8(5), uint8(3))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, workers, maxDims uint8) {
+		var lites []cluster.Lite
+		for i := 0; i+7 < len(data); i += 8 {
+			var l cluster.Lite
+			for d := 0; d < attr.NumDims; d++ {
+				l.Attrs[d] = int32(data[i+d] % 5)
+			}
+			ctl := data[i+7]
+			l.Bits = ctl & 0x0f
+			if ctl&0x10 != 0 {
+				l.Failed = true
+			}
+			lites = append(lites, l)
+		}
+		if len(lites) == 0 {
+			return
+		}
+		w := int(workers%8) + 1
+		md := int(maxDims % (attr.NumDims + 1))
+		serial := cluster.NewTable(0, lites, md)
+		defer serial.Release()
+		sharded := cluster.NewTableParallel(0, lites, md, w)
+		defer sharded.Release()
+		assertTablesEqual(t, "fuzz", sharded, serial)
+	})
+}

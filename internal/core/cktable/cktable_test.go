@@ -168,3 +168,98 @@ func TestUpsertAgreesWithAddSession(t *testing.T) {
 		t.Fatalf("Upsert/AddSession disagree: %+v ok=%v", got, ok)
 	}
 }
+
+// TestMergeMatchesUnsharded: splitting a session stream across several
+// tables and merging them must reproduce the single-table accumulation
+// exactly — every cell, both lookup directions, any shard count.
+func TestMergeMatchesUnsharded(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		for _, maxDims := range []int{2, attr.NumDims} {
+			rng := rand.New(rand.NewSource(int64(31*shards + maxDims)))
+			whole := Acquire(0, maxDims)
+			parts := make([]*Table, shards)
+			for s := range parts {
+				parts[s] = Acquire(0, maxDims)
+			}
+			for i := 0; i < 500; i++ {
+				v := randVector(rng)
+				flags := uint8(rng.Intn(16))
+				failed := flags&(1<<metric.JoinFailure) != 0
+				whole.AddSession(v, flags, failed)
+				parts[VectorHash(v)%uint64(shards)].AddSession(v, flags, failed)
+			}
+			merged := parts[0]
+			for _, src := range parts[1:] {
+				merged.Merge(src)
+				src.Release()
+			}
+			if merged.Len() != whole.Len() {
+				t.Fatalf("shards=%d maxDims=%d: merged Len=%d, want %d",
+					shards, maxDims, merged.Len(), whole.Len())
+			}
+			whole.ForEach(func(k attr.Key, c Counts) {
+				if got, ok := merged.Get(k); !ok || got != c {
+					t.Errorf("shards=%d maxDims=%d: key %v merged %+v/%v, want %+v",
+						shards, maxDims, k, got, ok, c)
+				}
+			})
+			merged.ForEach(func(k attr.Key, c Counts) {
+				if got, ok := whole.Get(k); !ok || got != c {
+					t.Errorf("shards=%d maxDims=%d: merged-only key %v (%+v vs %+v/%v)",
+						shards, maxDims, k, c, got, ok)
+				}
+			})
+			merged.Release()
+			whole.Release()
+		}
+	}
+}
+
+// TestMergeGrowsDestination: merging a large source into a small, nearly
+// full destination must trigger growth without losing cells.
+func TestMergeGrowsDestination(t *testing.T) {
+	dst := Acquire(0, attr.NumDims)
+	src := Acquire(0, attr.NumDims)
+	defer dst.Release()
+	defer src.Release()
+	ref := make(map[attr.Key]Counts)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		var v attr.Vector
+		for d := range v {
+			v[d] = rng.Int31() // near-unique: ~127 fresh keys per session
+		}
+		dst.AddSession(v, 1, false)
+		refAdd(ref, v, 1, false, attr.NumDims)
+	}
+	for i := 0; i < 400; i++ {
+		var v attr.Vector
+		for d := range v {
+			v[d] = rng.Int31()
+		}
+		src.AddSession(v, 2, true)
+		refAdd(ref, v, 2, true, attr.NumDims)
+	}
+	dst.Merge(src)
+	if dst.Len() != len(ref) {
+		t.Fatalf("Len=%d after growing merge, want %d", dst.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := dst.Get(k); !ok || got != want {
+			t.Fatalf("key %v lost or wrong after growing merge: %+v/%v want %+v", k, got, ok, want)
+		}
+	}
+}
+
+// TestVectorHashMatchesLeafKeyHash: the shard partition hash is exactly the
+// leaf key's hash, so equal vectors shard together and the partition is a
+// pure function of the attribute vector.
+func TestVectorHashMatchesLeafKeyHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		v := randVector(rng)
+		if VectorHash(v) != KeyHash(attr.KeyOf(v, attr.AllDims)) {
+			t.Fatalf("VectorHash(%v) != KeyHash(leaf)", v)
+		}
+	}
+}

@@ -52,6 +52,17 @@ func (c *Counts) Add(flags uint8, failed bool) {
 	}
 }
 
+// Merge accumulates another cell's tallies into c. All fields are integer
+// sums, so merging is exact and order-independent — the property the sharded
+// aggregation path relies on for bit-identical results at any worker count.
+func (c *Counts) Merge(o Counts) {
+	c.Total += o.Total
+	c.Failed += o.Failed
+	for m := 0; m < metric.NumMetrics; m++ {
+		c.Problems[m] += o.Problems[m]
+	}
+}
+
 // Sessions returns the number of sessions for which metric m is defined.
 func (c Counts) Sessions(m metric.Metric) int32 {
 	if m == metric.JoinFailure {

@@ -54,6 +54,20 @@ func (h *Hasher) Reset(v attr.Vector) {
 	}
 }
 
+// VectorHash hashes a full attribute vector: the xor of all seven dimension
+// hashes finalised with the all-dims salt (identical to KeyHash of the leaf
+// key). The sharded aggregation path partitions sessions by this hash, so
+// sessions with equal attribute vectors always land in the same shard and
+// fine-mask keys stay shard-local — only coarse projections overlap at
+// merge time.
+func VectorHash(v attr.Vector) uint64 {
+	var acc uint64
+	for d := attr.Dim(0); d < attr.NumDims; d++ {
+		acc ^= dimHash(d, v[d])
+	}
+	return mix64(acc ^ maskSalt[attr.AllDims])
+}
+
 // KeyHash hashes a canonical cluster key from scratch. It agrees exactly
 // with the incremental hashes the enumeration produces, so point lookups
 // (Get) find keys inserted by AddSession.

@@ -30,6 +30,13 @@ type Table struct {
 
 var tablePool = sync.Pool{New: func() any { return new(Table) }}
 
+// maxInitialSlots caps the Acquire pre-size: beyond ~2M slots (128 MB) the
+// keys-per-session heuristic overshoots badly — at millions of sessions per
+// epoch distinct-key cardinality saturates near the attribute universe, not
+// sessions × masks — so large epochs start here and double on demand.
+// Pooled reuse keeps whatever capacity growth settles on.
+const maxInitialSlots = 1 << 21
+
 // Acquire returns a cleared table ready for one epoch of sessions, drawn
 // from the pool when possible so its slot array is reused across epochs.
 //
@@ -38,14 +45,18 @@ var tablePool = sync.Pool{New: func() any { return new(Table) }}
 // session contributes ~100 distinct keys of the 127 it touches (the fine
 // masks are nearly all unique), so the old map pre-size of 2× sessions was
 // off by ~50× and rehashed continually. We pre-size for 64 keys per
-// session at a 75% load ceiling and double from there; pooled reuse makes
-// the initial estimate matter only for the very first epoch.
+// session at a 75% load ceiling (capped at maxInitialSlots) and double from
+// there; pooled reuse makes the initial estimate matter only for the very
+// first epoch.
 func Acquire(sessions, maxDims int) *Table {
 	t := tablePool.Get().(*Table)
 	t.plan = planFor(maxDims)
 	want := sessions * 64 * 4 / 3
 	if want < 1024 {
 		want = 1024
+	}
+	if want > maxInitialSlots {
+		want = maxInitialSlots
 	}
 	if len(t.slots) < want {
 		t.slots = make([]slot, nextPow2(want))
@@ -142,6 +153,40 @@ func (t *Table) Get(k attr.Key) (Counts, bool) {
 	}
 }
 
+// Merge folds every cell of src into t, summing counts cell-wise. It is a
+// linear walk over src's slots: the stored hash of each occupied slot is the
+// key's finalised hash, so no key is re-hashed and no subset enumeration
+// reruns — this is what makes sharded epoch aggregation cheap to recombine.
+// Counts are integer sums, so the merged table is identical (as a key→counts
+// mapping) regardless of merge order or shard count. src is not modified;
+// release it separately.
+func (t *Table) Merge(src *Table) {
+	// Reserve for the no-overlap worst case up front: one rehash instead of
+	// a cascade of doublings, each of which would re-probe every live slot
+	// and leave a dead half-size array behind for the GC.
+	t.reserve(t.used + src.used)
+	for i := range src.slots {
+		s := &src.slots[i]
+		if s.hash == 0 {
+			continue
+		}
+		if t.used >= t.maxUsed {
+			t.grow()
+		}
+		t.upsert(s.hash, s.key).Merge(s.counts)
+	}
+}
+
+// reserve grows the table, in a single rehash, until it can hold n keys
+// without exceeding the load ceiling.
+func (t *Table) reserve(n int) {
+	want := nextPow2(n*4/3 + 1)
+	if want <= len(t.slots) {
+		return
+	}
+	t.growTo(want)
+}
+
 // ForEach calls fn for every (key, counts) pair. The visit order is a pure
 // function of the stored key set — deterministic across runs, unlike map
 // ranges — but not sorted; consumers that need sorted keys sort as before.
@@ -153,9 +198,11 @@ func (t *Table) ForEach(fn func(k attr.Key, c Counts)) {
 	}
 }
 
-func (t *Table) grow() {
+func (t *Table) grow() { t.growTo(2 * len(t.slots)) }
+
+func (t *Table) growTo(newLen int) {
 	old := t.slots
-	t.slots = make([]slot, 2*len(old))
+	t.slots = make([]slot, newLen)
 	t.maxUsed = len(t.slots) / 4 * 3
 	mask := uint64(len(t.slots) - 1)
 	for i := range old {

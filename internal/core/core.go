@@ -12,12 +12,12 @@ package core
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/cluster"
+	"repro/internal/core/engine"
 	"repro/internal/critical"
 	"repro/internal/epoch"
 	"repro/internal/metric"
@@ -35,8 +35,14 @@ type Config struct {
 	MaxDims int
 	// Options tunes the critical-cluster detector.
 	Options critical.Options
-	// Workers bounds analysis parallelism (0 = GOMAXPROCS).
+	// Workers bounds analysis parallelism (0 = GOMAXPROCS): the shard
+	// count of the per-epoch aggregation and the fan-out of trace-level
+	// epoch analysis.
 	Workers int
+	// PipelineDepth bounds how many completed epochs may queue between the
+	// ingest and analysis stages of AnalyzeTrace (and other engine.Pipeline
+	// consumers); values < 1 mean 1.
+	PipelineDepth int
 	// KeepProblemKeys retains the per-epoch problem-cluster key sets
 	// (needed by the prevalence/persistence analyses; on by default in
 	// DefaultConfig).
@@ -125,6 +131,9 @@ type TraceResult struct {
 	// Epochs holds one result per epoch, ordered; index i is epoch
 	// Trace.Start+i.
 	Epochs []EpochResult
+	// Pipeline snapshots the two-stage pipeline's stall counters when the
+	// result came from AnalyzeTrace (zero otherwise).
+	Pipeline engine.Stats
 }
 
 // At returns the result of epoch e, or nil when outside the trace.
@@ -150,17 +159,78 @@ func (tr *TraceResult) Slice(r epoch.Range) *TraceResult {
 	}
 }
 
+// minShardedSessions keeps small epochs on the serial path: below this
+// volume the shard fan-out and merge walk cost more than the enumeration
+// they parallelise. The sharded and serial paths are bit-identical (the
+// differential tests prove it), so the cutover is purely a perf heuristic.
+const minShardedSessions = 2048
+
+// effectiveWorkers resolves the configured worker count for one epoch.
+func effectiveWorkers(workers, sessions int) int {
+	w := cluster.ResolveWorkers(workers)
+	if sessions < minShardedSessions {
+		return 1
+	}
+	return w
+}
+
 // AnalyzeEpoch analyses one epoch of digested sessions. The count table is
 // drawn from the aggregation-engine pool and returned to it before this
 // function returns (the summaries copy everything they keep), so a
 // steady-state stream of epochs rebuilds the table without allocating.
+//
+// When cfg.Workers resolves to more than one and the epoch is large enough,
+// the table is built by sharding sessions across workers (see
+// cluster.NewTableParallel) and the four per-metric view/detect passes run
+// concurrently. Results are byte-identical to the serial path for any
+// worker count: table counts are exact integer sums, the per-metric
+// summaries share no accumulation state, and every retained slice is
+// sorted.
 func AnalyzeEpoch(e epoch.Index, lites []cluster.Lite, cfg Config) (*EpochResult, error) {
 	if err := cfg.Thresholds.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	tbl := cluster.NewTable(e, lites, cfg.MaxDims)
+	workers := effectiveWorkers(cfg.Workers, len(lites))
+	var tbl *cluster.Table
+	if workers > 1 {
+		tbl = cluster.NewTableParallel(e, lites, cfg.MaxDims, workers)
+	} else {
+		tbl = cluster.NewTable(e, lites, cfg.MaxDims)
+	}
 	defer tbl.Release()
 	res := &EpochResult{Epoch: e}
+	if workers > 1 {
+		// Fan the independent metrics out as a second parallel dimension:
+		// each goroutine reads the shared (now read-only) table and writes
+		// only its own res.Metrics cell.
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		for _, m := range metric.All() {
+			wg.Add(1)
+			go func(m metric.Metric) {
+				defer wg.Done()
+				view, err := cluster.BuildView(tbl, m, cfg.Thresholds)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				det := critical.DetectOpts(view, cfg.Options)
+				res.Metrics[m] = summarize(m, view, det, cfg.KeepProblemKeys)
+			}(m)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return res, nil
+	}
 	for _, m := range metric.All() {
 		view, err := cluster.BuildView(tbl, m, cfg.Thresholds)
 		if err != nil {
@@ -206,39 +276,26 @@ func summarize(m metric.Metric, v *cluster.View, det *critical.Result, keepProbl
 }
 
 
-// litePool recycles per-epoch digest buffers between epochs; AnalyzeEpoch
-// does not retain its lites argument (the pooled table's session reference
-// is cleared on release), so returning a buffer after analysis is safe.
-var litePool sync.Pool
-
-func acquireLites() []cluster.Lite {
-	if p, ok := litePool.Get().(*[]cluster.Lite); ok {
-		return (*p)[:0]
-	}
-	return nil
-}
-
-func releaseLites(lites []cluster.Lite) {
-	if cap(lites) > 0 {
-		litePool.Put(&lites)
-	}
-}
-
 // AnalyzeGenerator regenerates every epoch from the synthetic generator and
-// analyses them in parallel.
+// analyses them in parallel. Parallelism here is across epochs (the
+// generator produces them independently), so each AnalyzeEpoch call runs
+// serially within its worker — sharding inside an epoch on top of the epoch
+// fan-out would oversubscribe without adding concurrency.
 func AnalyzeGenerator(g *synth.Generator, cfg Config) (*TraceResult, error) {
 	tr := &TraceResult{
 		Trace:      g.Config().Trace,
 		Thresholds: cfg.Thresholds,
 		Epochs:     make([]EpochResult, g.Config().Trace.Len()),
 	}
+	epochCfg := cfg
+	epochCfg.Workers = 1
 	err := g.ForEachEpoch(cfg.Workers, func(e epoch.Index, batch []session.Session) error {
-		lites := acquireLites()
+		lites := cluster.AcquireLites()
 		for i := range batch {
 			lites = append(lites, cluster.Digest(&batch[i], cfg.Thresholds))
 		}
-		res, err := AnalyzeEpoch(e, lites, cfg)
-		releaseLites(lites)
+		res, err := AnalyzeEpoch(e, lites, epochCfg)
+		cluster.ReleaseLites(lites)
 		if err != nil {
 			return err
 		}
@@ -252,43 +309,26 @@ func AnalyzeGenerator(g *synth.Generator, cfg Config) (*TraceResult, error) {
 }
 
 // AnalyzeTrace streams a trace reader (sessions ordered by epoch, as the
-// generator and collector write them) and analyses each epoch; epochs are
-// dispatched to a worker pool as they complete.
+// generator and collector write them) and analyses it through the two-stage
+// pipeline: the read loop digests epoch N+1 while the engine's analysis
+// stage runs the sharded AnalyzeEpoch on epoch N. The bounded hand-off
+// keeps at most PipelineDepth completed epochs in flight, and the
+// pipeline's stall counters are returned on the result for backpressure
+// observability.
 func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
-	type job struct {
-		e     epoch.Index
-		lites []cluster.Lite
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-		results  = make(map[epoch.Index]*EpochResult)
-	)
-	jobs := make(chan job, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res, err := AnalyzeEpoch(j.e, j.lites, cfg)
-				releaseLites(j.lites)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				if err == nil {
-					results[j.e] = res
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	results := make(map[epoch.Index]*EpochResult)
+	// The analysis closure runs on the pipeline's single analysis
+	// goroutine; results needs no lock (Drain publishes it to this
+	// goroutine before the map is read).
+	pipe := engine.New(cfg.PipelineDepth, func(e epoch.Index, lites []cluster.Lite) error {
+		res, err := AnalyzeEpoch(e, lites, cfg)
+		cluster.ReleaseLites(lites)
+		if err != nil {
+			return err
+		}
+		results[e] = res
+		return nil
+	})
 
 	var (
 		cur   epoch.Index
@@ -297,11 +337,15 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 		lo    epoch.Index
 		hi    epoch.Index
 	)
-	flush := func() {
-		if len(lites) > 0 {
-			jobs <- job{e: cur, lites: lites}
-			lites = acquireLites()
+	flush := func() error {
+		if len(lites) == 0 {
+			return nil
 		}
+		if err := pipe.Submit(cur, lites); err != nil {
+			return err
+		}
+		lites = cluster.AcquireLites()
+		return nil
 	}
 	var s session.Session
 	for {
@@ -310,8 +354,7 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 			break
 		}
 		if err != nil {
-			close(jobs)
-			wg.Wait()
+			_ = pipe.Drain() // the read error is the one worth surfacing
 			return nil, err
 		}
 		if !any {
@@ -320,11 +363,13 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 		}
 		if s.Epoch != cur {
 			if s.Epoch < cur {
-				close(jobs)
-				wg.Wait()
+				_ = pipe.Drain() // the ordering error is the one worth surfacing
 				return nil, fmt.Errorf("core: trace not ordered by epoch (%d after %d)", s.Epoch, cur)
 			}
-			flush()
+			if err := flush(); err != nil {
+				_ = pipe.Drain() // Submit already surfaced the analysis error
+				return nil, err
+			}
 			cur = s.Epoch
 		}
 		if s.Epoch > hi {
@@ -332,11 +377,12 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 		}
 		lites = append(lites, cluster.Digest(&s, cfg.Thresholds))
 	}
-	flush()
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := flush(); err != nil {
+		_ = pipe.Drain() // Submit already surfaced the analysis error
+		return nil, err
+	}
+	if err := pipe.Drain(); err != nil {
+		return nil, err
 	}
 	if !any {
 		return nil, fmt.Errorf("core: empty trace")
@@ -346,6 +392,7 @@ func AnalyzeTrace(r *trace.Reader, cfg Config) (*TraceResult, error) {
 		Trace:      epoch.Range{Start: lo, End: hi + 1},
 		Thresholds: cfg.Thresholds,
 		Epochs:     make([]EpochResult, int(hi-lo)+1),
+		Pipeline:   pipe.Stats(),
 	}
 	for e, res := range results {
 		tr.Epochs[int(e-lo)] = *res

@@ -1,0 +1,162 @@
+// Package engine provides the two-stage epoch-analysis pipeline that
+// overlaps analysis with ingestion: stage 1 (the caller — a trace reader,
+// the heartbeat collector's spool drain, or the online detector's Add loop)
+// accumulates the digests of epoch N+1 while stage 2 (a single analysis
+// goroutine) runs the sharded cluster/critical analysis of epoch N.
+//
+// The hand-off is a bounded channel, so a slow analysis stage exerts
+// backpressure on ingestion instead of queueing unbounded epochs, and a
+// slow ingest stage leaves the analyzer idle; both conditions are counted
+// per stage (SubmitStalls / InputWaits) so operators can see which side of
+// the pipeline is the bottleneck. Epochs are analysed strictly in
+// submission order by one goroutine, which keeps every downstream
+// observable (alert streams, result tables) as deterministic as the
+// synchronous path.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+)
+
+// AnalyzeFunc consumes one completed epoch of session digests. Ownership of
+// the lites slice transfers with a successful Submit; the function (or its
+// closure) is responsible for returning the buffer to a pool if desired.
+type AnalyzeFunc func(e epoch.Index, lites []cluster.Lite) error
+
+// Stats snapshots the pipeline's progress and stall counters.
+type Stats struct {
+	// Submitted counts epochs handed to the analysis stage; Analyzed
+	// counts epochs the analysis stage completed (successfully or not).
+	Submitted uint64
+	Analyzed  uint64
+	// SubmitStalls counts Submit calls that blocked because the bounded
+	// hand-off was full — the analysis stage is the bottleneck and is
+	// backpressuring ingestion.
+	SubmitStalls uint64
+	// InputWaits counts analysis-stage waits on an empty hand-off — the
+	// ingest stage is the bottleneck and the analyzer sat idle.
+	InputWaits uint64
+}
+
+type job struct {
+	e     epoch.Index
+	lites []cluster.Lite
+}
+
+// Pipeline is the bounded two-stage hand-off. Create one with New, feed it
+// with Submit from a single producer, and finish with Drain. The zero value
+// is not usable.
+type Pipeline struct {
+	ch chan job
+	wg sync.WaitGroup
+
+	submitted    atomic.Uint64
+	analyzed     atomic.Uint64
+	submitStalls atomic.Uint64
+	inputWaits   atomic.Uint64
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// New starts a pipeline whose analysis stage runs analyze once per
+// submitted epoch, in submission order, on its own goroutine. depth bounds
+// how many completed epochs may be queued between the stages (minimum 1:
+// one epoch analysing + one queued + one accumulating at the producer).
+func New(depth int, analyze AnalyzeFunc) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipeline{ch: make(chan job, depth)}
+	p.wg.Add(1)
+	go p.run(analyze)
+	return p
+}
+
+// run is the analysis stage: drain jobs in order until the channel closes.
+// After the first analyze error the remaining queue is drained without
+// analysing, so a producer blocked in Submit always unblocks.
+func (p *Pipeline) run(analyze AnalyzeFunc) {
+	defer p.wg.Done()
+	for {
+		var j job
+		var ok bool
+		select {
+		case j, ok = <-p.ch:
+		default:
+			p.inputWaits.Add(1)
+			j, ok = <-p.ch
+		}
+		if !ok {
+			return
+		}
+		if p.Err() == nil {
+			if err := analyze(j.e, j.lites); err != nil {
+				p.setErr(err)
+			}
+		}
+		p.analyzed.Add(1)
+	}
+}
+
+// Submit hands one completed epoch to the analysis stage, blocking when the
+// hand-off is full (counted as a SubmitStall). If a previous epoch's
+// analysis already failed, Submit reports that error and the caller keeps
+// ownership of lites.
+func (p *Pipeline) Submit(e epoch.Index, lites []cluster.Lite) error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.ch <- job{e: e, lites: lites}:
+	default:
+		p.submitStalls.Add(1)
+		p.ch <- job{e: e, lites: lites}
+	}
+	p.submitted.Add(1)
+	return nil
+}
+
+// Drain closes the hand-off, waits for the analysis stage to finish every
+// queued epoch, and returns the first analysis error. Drain is idempotent.
+func (p *Pipeline) Drain() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.ch)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return p.Err()
+}
+
+// Err returns the first analysis error observed so far, if any.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Pipeline) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pipeline's counters. It may be called
+// concurrently with Submit; counters are monotonic.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Submitted:    p.submitted.Load(),
+		Analyzed:     p.analyzed.Load(),
+		SubmitStalls: p.submitStalls.Load(),
+		InputWaits:   p.inputWaits.Load(),
+	}
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+)
+
+// TestPipelineOrderAndDrain: epochs come out of the analysis stage exactly
+// in submission order, and Drain waits for every queued epoch.
+func TestPipelineOrderAndDrain(t *testing.T) {
+	var got []epoch.Index
+	p := New(2, func(e epoch.Index, lites []cluster.Lite) error {
+		got = append(got, e) // single analysis goroutine: no lock needed
+		return nil
+	})
+	for e := epoch.Index(0); e < 50; e++ {
+		if err := p.Submit(e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("analyzed %d epochs, want 50", len(got))
+	}
+	for i, e := range got {
+		if e != epoch.Index(i) {
+			t.Fatalf("epoch %d analyzed at position %d", e, i)
+		}
+	}
+	st := p.Stats()
+	if st.Submitted != 50 || st.Analyzed != 50 {
+		t.Fatalf("stats %+v, want 50 submitted and analyzed", st)
+	}
+	// Drain is idempotent.
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineBackpressure: a slow analysis stage fills the bounded
+// hand-off and Submit stalls are counted.
+func TestPipelineBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	p := New(1, func(e epoch.Index, lites []cluster.Lite) error {
+		once.Do(func() { <-release }) // first epoch blocks until released
+		return nil
+	})
+	// Epoch 0 enters analysis and blocks; epoch 1 fills the queue; epoch 2
+	// must stall in Submit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := epoch.Index(0); e < 3; e++ {
+			if err := p.Submit(e, nil); err != nil {
+				t.Errorf("submit %d: %v", e, err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("submits completed without backpressure")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.SubmitStalls == 0 {
+		t.Fatalf("stats %+v: expected at least one submit stall", st)
+	}
+	if st.Analyzed != 3 {
+		t.Fatalf("stats %+v: want 3 analyzed", st)
+	}
+}
+
+// TestPipelineIdleAnalyzer: a slow producer leaves the analyzer waiting on
+// an empty hand-off, counted as InputWaits.
+func TestPipelineIdleAnalyzer(t *testing.T) {
+	p := New(4, func(e epoch.Index, lites []cluster.Lite) error { return nil })
+	for e := epoch.Index(0); e < 3; e++ {
+		time.Sleep(10 * time.Millisecond)
+		if err := p.Submit(e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.InputWaits == 0 {
+		t.Fatalf("stats %+v: expected input waits with a slow producer", st)
+	}
+}
+
+// TestPipelineErrorPropagation: an analysis error surfaces on a later
+// Submit or on Drain, queued epochs are drained without deadlock, and no
+// further epochs are analysed.
+func TestPipelineErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var analyzed int
+	p := New(1, func(e epoch.Index, lites []cluster.Lite) error {
+		analyzed++
+		if e == 1 {
+			return boom
+		}
+		return nil
+	})
+	sawErr := false
+	for e := epoch.Index(0); e < 20; e++ {
+		if err := p.Submit(e, nil); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("submit error %v, want %v", err, boom)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if err := p.Drain(); !errors.Is(err, boom) {
+		t.Fatalf("Drain error %v, want %v", err, boom)
+	}
+	if !sawErr && analyzed > 2 {
+		t.Fatalf("analyzed %d epochs after error", analyzed)
+	}
+	// Submitting after a failed drain keeps reporting the error.
+	if err := p.Submit(99, nil); !errors.Is(err, boom) {
+		t.Fatalf("post-drain Submit error %v, want %v", err, boom)
+	}
+}
+
+// TestPipelineEmptyDrain: draining an unused pipeline terminates cleanly.
+func TestPipelineEmptyDrain(t *testing.T) {
+	p := New(1, func(e epoch.Index, lites []cluster.Lite) error { return nil })
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Submitted != 0 || st.Analyzed != 0 {
+		t.Fatalf("stats %+v on empty pipeline", st)
+	}
+}

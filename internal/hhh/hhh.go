@@ -8,11 +8,20 @@
 // carries more problem sessions than a small broken one. The ablation
 // benchmark quantifies exactly that, comparing HHH output against the
 // phase-transition critical clusters on ground-truth events.
+//
+// Detection runs on flat, pooled storage in the style of the cktable
+// engine: per level, a pass over the unclaimed problem sessions counts
+// occurrences per key in an open-addressing table, a prefix sum over the
+// occupied slots carves one shared positions array into per-key segments,
+// and a second pass fills the segments — a counting sort that replaces the
+// old map[attr.Key][]int32 (one map insert plus amortised slice growth per
+// session×mask) with two linear scans and zero steady-state allocation.
 package hhh
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/cluster"
@@ -60,11 +69,132 @@ type Result struct {
 	Hitters []Hitter
 }
 
+// levelMasks groups the subset masks by size so the per-level loop does not
+// re-derive (and re-allocate) the grouping on every Detect call; within a
+// size the masks keep attr.MasksUpTo's order, matching the map-based
+// reference's stable sort.
+var levelMasks = func() [attr.NumDims + 1][]attr.Mask {
+	var lv [attr.NumDims + 1][]attr.Mask
+	for _, mk := range attr.MasksUpTo(attr.NumDims) {
+		lv[mk.Size()] = append(lv[mk.Size()], mk)
+	}
+	return lv
+}()
+
+// hslot is one occupied cell of the per-level counting table. hash is the
+// key's cktable.KeyHash with bit 0 forced on so zero means empty; start/next
+// delimit the key's segment of the shared positions array.
+type hslot struct {
+	hash  uint64
+	key   attr.Key
+	count int32
+	start int32
+	next  int32
+}
+
+// scratch holds every per-Detect buffer so repeated detections (one per
+// metric per epoch) reuse capacity instead of re-allocating ~14k objects.
+type scratch struct {
+	idx       []int32 // problem-session indices into the lites slice
+	claimed   []bool  // per idx entry: claimed by a finer hitter
+	slots     []hslot // open-addressing counting table, power-of-two len
+	used      []int32 // occupied slot indices, for clearing and iteration
+	maxUsed   int     // grow threshold: 75% load
+	positions []int32 // per-key position segments, carved by prefix sum
+	cands     []int32 // slot indices of threshold-crossing candidates
+}
+
+var scratchPool sync.Pool
+
+func acquireScratch() *scratch {
+	if p, ok := scratchPool.Get().(*scratch); ok {
+		return p
+	}
+	return &scratch{}
+}
+
+func releaseScratch(sc *scratch) {
+	scratchPool.Put(sc)
+}
+
+// resetTable clears the occupied slots (keeping capacity) and sizes the
+// table for about hint keys if it has never been sized.
+func (sc *scratch) resetTable(hint int) {
+	for _, si := range sc.used {
+		sc.slots[si] = hslot{}
+	}
+	sc.used = sc.used[:0]
+	if len(sc.slots) == 0 {
+		want := 1024
+		for want*3/4 < hint && want < 1<<18 {
+			want <<= 1
+		}
+		sc.slots = make([]hslot, want)
+		sc.maxUsed = want * 3 / 4
+	}
+}
+
+// grow doubles the table and re-probes the occupied slots by their stored
+// hashes (no re-hashing), refreshing the used index list.
+func (sc *scratch) grow() {
+	old := sc.slots
+	oldUsed := sc.used
+	sc.slots = make([]hslot, len(old)*2)
+	sc.maxUsed = len(sc.slots) * 3 / 4
+	sc.used = sc.used[:0]
+	mask := uint64(len(sc.slots) - 1)
+	for _, si := range oldUsed {
+		s := old[si]
+		i := s.hash & mask
+		for sc.slots[i].hash != 0 {
+			i = (i + 1) & mask
+		}
+		sc.slots[i] = s
+		sc.used = append(sc.used, int32(i))
+	}
+}
+
+// upsert returns the slot for (h, key), inserting an empty one if absent.
+func (sc *scratch) upsert(h uint64, key attr.Key) *hslot {
+	mask := uint64(len(sc.slots) - 1)
+	i := h & mask
+	for {
+		s := &sc.slots[i]
+		if s.hash == 0 {
+			if len(sc.used) >= sc.maxUsed {
+				sc.grow()
+				return sc.upsert(h, key)
+			}
+			s.hash, s.key = h, key
+			sc.used = append(sc.used, int32(i))
+			return s
+		}
+		if s.hash == h && s.key == key {
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// find returns the slot for (h, key), which must have been upserted.
+func (sc *scratch) find(h uint64, key attr.Key) *hslot {
+	mask := uint64(len(sc.slots) - 1)
+	i := h & mask
+	for {
+		s := &sc.slots[i]
+		if s.hash == h && s.key == key {
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // Detect runs bottom-up discounted heavy-hitter detection over one epoch of
 // session digests for metric m: masks are processed finest-first; a cluster
 // whose unclaimed problem sessions reach φ×total claims those sessions so
 // coarser ancestors only count what remains (the classic "discounted"
-// semantics).
+// semantics). The output is bit-identical to the map-based reference
+// implementation kept in this package's differential test.
 func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -74,14 +204,18 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		maxDims = attr.NumDims
 	}
 
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+
 	// Problem sessions only.
-	var idx []int32
+	idx := sc.idx[:0]
 	for i := range sessions {
 		l := &sessions[i]
 		if l.Defined(m) && l.Problem(m) {
 			idx = append(idx, int32(i))
 		}
 	}
+	sc.idx = idx
 	res := &Result{Metric: m, Total: len(idx)}
 	if res.Total == 0 {
 		return res, nil
@@ -91,7 +225,15 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		threshold = 1
 	}
 
-	claimed := make([]bool, len(idx))
+	claimed := sc.claimed
+	if cap(claimed) < len(idx) {
+		claimed = make([]bool, len(idx))
+	}
+	claimed = claimed[:len(idx)]
+	for i := range claimed {
+		claimed[i] = false
+	}
+	sc.claimed = claimed
 
 	// Raw (undiscounted) problem-session counts per key, aggregated once
 	// through the pooled open-addressing engine instead of 127 map
@@ -102,21 +244,11 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		raw.AddSession(sessions[si].Attrs, 0, false)
 	}
 
-	// Masks grouped by size, finest first.
-	masks := attr.MasksUpTo(maxDims)
-	sort.SliceStable(masks, func(i, j int) bool { return masks[i].Size() > masks[j].Size() })
+	for size := maxDims; size >= 1; size-- {
+		level := levelMasks[size]
 
-	for start := 0; start < len(masks); {
-		size := masks[start].Size()
-		end := start
-		for end < len(masks) && masks[end].Size() == size {
-			end++
-		}
-		level := masks[start:end]
-		start = end
-
-		// Count unclaimed problem sessions per key at this level.
-		unclaimed := make(map[attr.Key][]int32)
+		// Pass A: count unclaimed problem sessions per key at this level.
+		sc.resetTable(len(idx))
 		for pos, si := range idx {
 			if claimed[pos] {
 				continue
@@ -124,42 +256,72 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 			l := &sessions[si]
 			for _, mk := range level {
 				key := attr.KeyOf(l.Attrs, mk)
-				unclaimed[key] = append(unclaimed[key], int32(pos))
+				sc.upsert(cktable.KeyHash(key)|1, key).count++
 			}
 		}
+
+		// Prefix sum carves the shared positions array into per-key
+		// segments; pass B fills them in session order, so each segment
+		// lists positions ascending exactly like the reference's append
+		// loop.
+		var total int32
+		for _, si := range sc.used {
+			s := &sc.slots[si]
+			s.start = total
+			s.next = total
+			total += s.count
+		}
+		positions := sc.positions
+		if cap(positions) < int(total) {
+			positions = make([]int32, total)
+		}
+		positions = positions[:total]
+		sc.positions = positions
+		for pos, si := range idx {
+			if claimed[pos] {
+				continue
+			}
+			l := &sessions[si]
+			for _, mk := range level {
+				key := attr.KeyOf(l.Attrs, mk)
+				s := sc.find(cktable.KeyHash(key)|1, key)
+				positions[s.next] = int32(pos)
+				s.next++
+			}
+		}
+
 		// Keys reaching the threshold become hitters and claim their
 		// sessions. Deterministic order: larger counts first, then key
 		// order, so overlapping candidates claim stably.
-		var cands []attr.Key
-		for key, list := range unclaimed {
-			if float64(len(list)) >= threshold {
-				cands = append(cands, key)
+		cands := sc.cands[:0]
+		for _, si := range sc.used {
+			if float64(sc.slots[si].count) >= threshold {
+				cands = append(cands, si)
 			}
 		}
+		sc.cands = cands
 		sort.Slice(cands, func(i, j int) bool {
-			a, b := len(unclaimed[cands[i]]), len(unclaimed[cands[j]])
+			a, b := sc.slots[cands[i]].count, sc.slots[cands[j]].count
 			if a != b {
 				return a > b
 			}
-			return cands[i].Less(cands[j])
+			return sc.slots[cands[i]].key.Less(sc.slots[cands[j]].key)
 		})
-		for _, key := range cands {
+		for _, si := range cands {
+			s := &sc.slots[si]
 			n := 0
-			for _, pos := range unclaimed[key] {
+			for _, pos := range positions[s.start : s.start+s.count] {
 				if !claimed[pos] {
 					claimed[pos] = true
 					n++
 				}
 			}
-			if float64(n) >= threshold {
-				res.Hitters = append(res.Hitters, Hitter{Key: key, Discounted: n})
-			} else {
-				// Overlap with an earlier hitter at this level consumed its
-				// mass; release nothing (claimed sessions stay claimed by
-				// the earlier hitter's semantics).
-				if n > 0 {
-					res.Hitters = append(res.Hitters, Hitter{Key: key, Discounted: n})
-				}
+			// Overlap with an earlier hitter at this level may have
+			// consumed some of the mass; whatever remains is still this
+			// hitter's discounted count (the reference appends on any
+			// n > 0 for threshold ≥ 1).
+			if n > 0 {
+				res.Hitters = append(res.Hitters, Hitter{Key: s.key, Discounted: n})
 			}
 		}
 	}
@@ -176,7 +338,6 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 	})
 	return res, nil
 }
-
 
 // Keys returns the hitter keys in rank order.
 func (r *Result) Keys() []attr.Key {

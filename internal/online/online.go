@@ -16,6 +16,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/core/engine"
 	"repro/internal/epoch"
 	"repro/internal/metric"
 	"repro/internal/session"
@@ -77,6 +78,12 @@ type Detector struct {
 	started bool
 	buf     []cluster.Lite
 
+	// pipe, when non-nil, is the two-stage hand-off that analyzes epoch N
+	// while Add accumulates epoch N+1 (see Pipeline). All per-epoch state —
+	// streaks, counters, emissions — is then touched only by the pipeline's
+	// single analysis goroutine, so alert order stays deterministic.
+	pipe *engine.Pipeline
+
 	// MinEpochSessions gates epoch evaluation: an epoch closing with fewer
 	// sessions is treated as an ingestion gap (collector restart, shed
 	// load), not as ground truth. Gap epochs emit no alerts and freeze
@@ -126,30 +133,74 @@ func (d *Detector) Add(s *session.Session) error {
 	return nil
 }
 
-// Flush evaluates the in-progress epoch (end of stream).
-func (d *Detector) Flush() error {
-	if !d.started || len(d.buf) == 0 {
-		return nil
+// Pipeline switches the detector to two-stage operation: Add (and the
+// digesting it does) runs concurrently with the previous epoch's analysis,
+// with at most depth completed epochs queued between the stages. Must be
+// called before the first Add. Alert emission moves to the pipeline's
+// analysis goroutine but keeps the same deterministic per-epoch order; the
+// emit callback must therefore not assume it runs on the Add goroutine.
+func (d *Detector) Pipeline(depth int) {
+	d.pipe = engine.New(depth, func(e epoch.Index, lites []cluster.Lite) error {
+		err := d.evalEpoch(e, lites)
+		cluster.ReleaseLites(lites)
+		return err
+	})
+}
+
+// PipelineStats snapshots the pipeline's stall counters (zero when Pipeline
+// was not enabled).
+func (d *Detector) PipelineStats() engine.Stats {
+	if d.pipe == nil {
+		return engine.Stats{}
 	}
-	return d.closeEpoch()
+	return d.pipe.Stats()
+}
+
+// Flush evaluates the in-progress epoch (end of stream) and, in pipelined
+// mode, drains the analysis stage. Counters and streaks are safe to read
+// after Flush returns.
+func (d *Detector) Flush() error {
+	if d.started && len(d.buf) > 0 {
+		if err := d.closeEpoch(); err != nil {
+			if d.pipe != nil {
+				_ = d.pipe.Drain() // Submit already surfaced the analysis error
+			}
+			return err
+		}
+	}
+	if d.pipe != nil {
+		return d.pipe.Drain()
+	}
+	return nil
 }
 
 func (d *Detector) closeEpoch() error {
-	if d.MinEpochSessions > 0 && len(d.buf) < d.MinEpochSessions {
+	if d.pipe != nil {
+		buf := d.buf
+		d.buf = cluster.AcquireLites()
+		return d.pipe.Submit(d.cur, buf)
+	}
+	err := d.evalEpoch(d.cur, d.buf)
+	d.buf = d.buf[:0]
+	return err
+}
+
+// evalEpoch runs the gate, analysis, and alerting for one completed epoch.
+// In pipelined mode it is called only from the analysis goroutine.
+func (d *Detector) evalEpoch(e epoch.Index, lites []cluster.Lite) error {
+	if d.MinEpochSessions > 0 && len(lites) < d.MinEpochSessions {
 		// Degraded epoch: too few sessions to trust. Skip evaluation
 		// entirely — emitting "resolved" off a starved epoch would be a
 		// measurement artifact, exactly the failure mode the fault-tolerant
 		// ingestion path is built to avoid.
-		d.buf = d.buf[:0]
 		d.Epochs++
 		d.GapEpochs++
 		return nil
 	}
-	res, err := core.AnalyzeEpoch(d.cur, d.buf, d.cfg)
+	res, err := core.AnalyzeEpoch(e, lites, d.cfg)
 	if err != nil {
 		return err
 	}
-	d.buf = d.buf[:0]
 	d.Epochs++
 
 	for _, m := range metric.All() {
@@ -178,19 +229,19 @@ func (d *Detector) closeEpoch() error {
 			case active && prev == 0:
 				d.streaks[m][k] = 1
 				d.send(Alert{
-					Epoch: d.cur, Metric: m, Key: k, Kind: AlertNew, StreakHours: 1,
+					Epoch: e, Metric: m, Key: k, Kind: AlertNew, StreakHours: 1,
 					Ratio: cs.Ratio, Sessions: cs.Sessions, AttributedProblems: cs.AttributedProblems,
 				})
 			case active:
 				d.streaks[m][k] = prev + 1
 				d.send(Alert{
-					Epoch: d.cur, Metric: m, Key: k, Kind: AlertContinuing, StreakHours: prev + 1,
+					Epoch: e, Metric: m, Key: k, Kind: AlertContinuing, StreakHours: prev + 1,
 					Ratio: cs.Ratio, Sessions: cs.Sessions, AttributedProblems: cs.AttributedProblems,
 				})
 			default:
 				delete(d.streaks[m], k)
 				d.send(Alert{
-					Epoch: d.cur, Metric: m, Key: k, Kind: AlertResolved, StreakHours: prev,
+					Epoch: e, Metric: m, Key: k, Kind: AlertResolved, StreakHours: prev,
 				})
 			}
 		}

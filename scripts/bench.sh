@@ -4,31 +4,67 @@
 # Usage:
 #
 #	scripts/bench.sh <label> [bench-regexp]
+#	scripts/bench.sh --scaling <label> [bench-regexp]
 #
-# Runs the aggregation-substrate benchmarks with -benchmem -count=5 and
-# writes BENCH_<label>.json at the repo root: per benchmark the best (min)
-# ns/op and B/op across the runs plus the (run-invariant) allocs/op. The
-# committed BENCH_baseline.json / BENCH_cktable.json pair records the perf
-# trajectory of the epoch-aggregation engine; future PRs append labels.
+# Default mode runs the aggregation-substrate benchmarks with -benchmem
+# -count=5 and writes BENCH_<label>.json at the repo root: per benchmark the
+# best (min) ns/op and B/op across the runs plus the (run-invariant)
+# allocs/op. The committed BENCH_baseline.json / BENCH_cktable.json pair
+# records the perf trajectory of the epoch-aggregation engine; future PRs
+# append labels.
+#
+# --scaling mode sweeps the sharded epoch-analysis engine instead: it runs
+# BenchmarkAnalyzeEpochParallel (sessions/epoch sub-benchmarks) under
+# -cpu 1,2,4,8 so the worker count follows GOMAXPROCS, keeps the -N cpu
+# suffix in the recorded names, and stamps the host's physical core count in
+# the JSON — a 1-core host cannot show wall-clock speedup no matter how well
+# the sharding scales, and the record must say so. Tunables: BENCH_COUNT
+# (default 3), BENCH_CPUS (default 1,2,4,8), BENCH_TIME (default 1x).
 set -eu
 
-label="${1:?usage: scripts/bench.sh <label> [bench-regexp]}"
-pattern="${2:-ClusterTable|CriticalDetect|HHHDetect|SessionBinaryCodec|HeartbeatProtocol}"
-count="${BENCH_COUNT:-5}"
+mode="substrate"
+if [ "${1:-}" = "--scaling" ]; then
+	mode="scaling"
+	shift
+fi
+
+label="${1:?usage: scripts/bench.sh [--scaling] <label> [bench-regexp]}"
 
 cd "$(dirname "$0")/.."
 out="BENCH_${label}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -count="$count" . | tee "$raw"
-
 goversion="$(go env GOVERSION)"
+cores="$(nproc 2>/dev/null || echo 1)"
 
-awk -v label="$label" -v goversion="$goversion" '
+if [ "$mode" = "scaling" ]; then
+	pattern="${2:-AnalyzeEpochParallel}"
+	count="${BENCH_COUNT:-3}"
+	cpus="${BENCH_CPUS:-1,2,4,8}"
+	benchtime="${BENCH_TIME:-1x}"
+	keepcpu=1
+	# One go test invocation per GOMAXPROCS value, not a single -cpu list:
+	# with a combined list the testing package interleaves cpu variants and
+	# a run can be reported under the unsuffixed (cpu=1) name while actually
+	# executing at a higher GOMAXPROCS, which would corrupt the scaling
+	# curve. Separate processes make the -N label trustworthy.
+	: >"$raw"
+	for c in $(printf '%s' "$cpus" | tr ',' ' '); do
+		go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+			-count="$count" -cpu "$c" -timeout 60m . | tee -a "$raw"
+	done
+else
+	pattern="${2:-ClusterTable|CriticalDetect|HHHDetect|SessionBinaryCodec|HeartbeatProtocol}"
+	count="${BENCH_COUNT:-5}"
+	keepcpu=0
+	go test -run '^$' -bench "$pattern" -benchmem -count="$count" . | tee "$raw"
+fi
+
+awk -v label="$label" -v goversion="$goversion" -v cores="$cores" -v keepcpu="$keepcpu" '
 /^Benchmark/ {
 	name = $1
-	sub(/-[0-9]+$/, "", name)
+	if (!keepcpu) sub(/-[0-9]+$/, "", name)
 	ns = ""; bytes = ""; allocs = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
@@ -43,7 +79,7 @@ awk -v label="$label" -v goversion="$goversion" '
 	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
-	printf "{\n  \"label\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", label, goversion
+	printf "{\n  \"label\": \"%s\",\n  \"go\": \"%s\",\n  \"host_cores\": %d,\n  \"benchmarks\": {\n", label, goversion, cores
 	for (i = 0; i < n; i++) {
 		name = order[i]
 		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s, \"runs\": %d}%s\n", \
