@@ -9,6 +9,16 @@
 // file), and shutdown drains connections against a deadline — a drain that
 // times out force-closes stragglers and exits non-zero.
 //
+// With -aggregator set, vqcollect runs as one edge node of the distributed
+// ingestion tier instead of writing a local trace: assembled sessions flow
+// through a disk-backed relay spool and ship to a central vqaggregate over
+// an acknowledged heartbeat link. The spool directory persists across
+// restarts — a new incarnation recovers and re-sends whatever its
+// predecessor left sealed on disk:
+//
+//	vqcollect -addr 127.0.0.1:9823 -node-id 1 -incarnation 2 \
+//	    -aggregator 127.0.0.1:9833 -spool-dir /var/spool/vq-node1
+//
 // With -demo N it also spawns N simulated adaptive-bitrate players (package
 // player driving package cdn deliveries) against its own listener, so the
 // whole measurement pipeline can be exercised on one machine:
@@ -21,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +42,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/cdn"
 	"repro/internal/heartbeat"
+	"repro/internal/ingest"
 	"repro/internal/player"
 	"repro/internal/session"
 	"repro/internal/stats"
@@ -54,8 +66,32 @@ func run() int {
 		flush = flag.Duration("flush", 30*time.Second, "idle-session flush and trace sync interval")
 		grace = flag.Duration("grace", 10*time.Second, "connection drain deadline at shutdown")
 		spool = flag.Int("spool", 1024, "bounded session buffer between assembler and trace writer")
+
+		// Distributed-tier node mode (active when -aggregator is set).
+		aggAddr     = flag.String("aggregator", "", "relay assembled sessions to this vqaggregate address instead of writing a trace")
+		nodeID      = flag.Uint64("node-id", 1, "node identity on the aggregator (stable across restarts)")
+		incarnation = flag.Uint64("incarnation", 0, "restart counter; bump by one each time this node restarts")
+		spoolDir    = flag.String("spool-dir", "relay-spool", "directory for relay spool segments (reuse across restarts for recovery)")
+		rotate      = flag.Int("rotate", 256, "seal and ship a relay segment after this many sessions")
+		maxSegments = flag.Int("max-segments", 64, "sealed-segment backlog bound; overflow sheds the oldest segment")
 	)
 	flag.Parse()
+
+	if *aggAddr != "" {
+		return runNode(nodeCfg{
+			addr:        *addr,
+			aggregator:  *aggAddr,
+			nodeID:      *nodeID,
+			incarnation: *incarnation,
+			spoolDir:    *spoolDir,
+			spoolCap:    *spool,
+			rotate:      *rotate,
+			maxSegments: *maxSegments,
+			grace:       *grace,
+			demo:        *demo,
+			seed:        *seed,
+		})
+	}
 
 	w, err := world.New(world.DefaultConfig())
 	if err != nil {
@@ -176,6 +212,110 @@ func run() int {
 	}
 	if cs.ForceClosed > 0 {
 		log.Printf("drain timed out: %d connections force-closed after %v", cs.ForceClosed, *grace)
+		exit = 1
+	}
+	return exit
+}
+
+// nodeCfg carries the distributed-tier flags into runNode.
+type nodeCfg struct {
+	addr        string
+	aggregator  string
+	nodeID      uint64
+	incarnation uint64
+	spoolDir    string
+	spoolCap    int
+	rotate      int
+	maxSegments int
+	grace       time.Duration
+	demo        int
+	seed        uint64
+}
+
+// runNode runs vqcollect as one edge node of the distributed ingestion
+// tier: players connect to the local collector, assembled sessions spool to
+// disk, and a relay ships them to the central aggregator over an
+// acknowledged link. The SIGTERM drain summary accounts for every
+// downstream hop separately, so an operator can see exactly where sessions
+// were lost (and a zero-loss drain exits zero).
+func runNode(cfg nodeCfg) int {
+	if err := os.MkdirAll(cfg.spoolDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	nd, err := ingest.StartNode(ingest.NodeConfig{
+		ID:            cfg.nodeID,
+		Incarnation:   cfg.incarnation,
+		SpoolDir:      cfg.spoolDir,
+		Aggregator:    func() (net.Conn, error) { return net.Dial("tcp", cfg.aggregator) },
+		ListenAddr:    cfg.addr,
+		SpoolCapacity: cfg.spoolCap,
+		RotateEvery:   cfg.rotate,
+		MaxSegments:   cfg.maxSegments,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %d (incarnation %d): collecting heartbeats on %s → %s (spool %s)\n",
+		cfg.nodeID, cfg.incarnation, nd.Addr(), cfg.aggregator, cfg.spoolDir)
+	if recovered := nd.Stats().Relay.Recovered; recovered > 0 {
+		fmt.Printf("recovered %d sessions left on disk by a previous incarnation\n", recovered)
+	}
+
+	if cfg.demo > 0 {
+		w, err := world.New(world.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runDemo(nd.Addr().String(), w, cfg.seed, cfg.demo); err != nil {
+			log.Printf("demo: %v", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down")
+	}
+
+	exit := 0
+	if err := nd.Close(cfg.grace); err != nil {
+		log.Printf("closing node: %v", err)
+		exit = 1
+	}
+	st := nd.Stats()
+	fmt.Printf("drained node %d: %d sessions assembled, %d delivered to %s\n",
+		cfg.nodeID, st.Collector.SessionsEmitted, st.Relay.Sent, cfg.aggregator)
+	// Per-downstream-hop loss accounting: each hop's shed counter is
+	// independent, and their sum is exactly the sessions this node lost.
+	hops := []struct {
+		name   string
+		shed   int64
+		detail string
+	}{
+		{"assembler→spool", st.Spool.Shed,
+			fmt.Sprintf("%d buffered, %d delivered downstream", st.Spool.Accepted, st.Spool.Delivered)},
+		{"spool→disk", st.Relay.Shed,
+			fmt.Sprintf("%d offered, %d segments sealed, %d dropped to backlog bound, %d recovered",
+				st.Relay.Offered, st.Relay.SegmentsSealed, st.Relay.SegmentsDropped, st.Relay.Recovered)},
+		{"disk→aggregator", st.Relay.Abandoned,
+			fmt.Sprintf("%d sent acked, %d reconnects, %d replays", st.Relay.Sent, st.Sender.Reconnects, st.Sender.Replays)},
+	}
+	var totalShed int64
+	for _, h := range hops {
+		fmt.Printf("  hop %-17s shed %d  (%s)\n", h.name, h.shed, h.detail)
+		totalShed += h.shed
+	}
+	if totalShed > 0 {
+		log.Printf("node shed %d sessions across the tier", totalShed)
+		exit = 1
+	}
+	if st.Collector.Salvaged > 0 || st.Collector.ReplaysDropped > 0 || st.Collector.HandlerPanics > 0 {
+		fmt.Printf("assembler accounting: %d salvaged as join failures, %d replays deduplicated, %d handler panics\n",
+			st.Collector.Salvaged, st.Collector.ReplaysDropped, st.Collector.HandlerPanics)
+	}
+	if st.Collector.ForceClosed > 0 {
+		log.Printf("drain timed out: %d connections force-closed after %v", st.Collector.ForceClosed, cfg.grace)
 		exit = 1
 	}
 	return exit

@@ -95,6 +95,27 @@ func NewTable(e epoch.Index, sessions []Lite, maxDims int) *Table {
 	return t
 }
 
+// AssembleTable wraps already-merged engine storage as an epoch count
+// table — the aggregator's path, where per-node partial tables were
+// combined with cktable.Table.Merge and the root counts accumulated
+// alongside, so there is no single local session slice to rebuild from.
+// Ownership of ck transfers to the returned table (Release returns it to
+// the pool); sessions is retained for coverage passes exactly as NewTable
+// retains its input, and its order is the order coverage and attribution
+// passes will traverse.
+func AssembleTable(e epoch.Index, sessions []Lite, maxDims int, ck *cktable.Table, root Counts) *Table {
+	if maxDims <= 0 || maxDims > attr.NumDims {
+		maxDims = attr.NumDims
+	}
+	return &Table{
+		Epoch:    e,
+		Root:     root,
+		Sessions: sessions,
+		MaxDims:  maxDims,
+		ck:       ck,
+	}
+}
+
 // Release returns the table's storage to the engine pool. The table (and
 // any View built over it) must not be used afterwards.
 func (t *Table) Release() {

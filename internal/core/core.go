@@ -198,7 +198,26 @@ func AnalyzeEpoch(e epoch.Index, lites []cluster.Lite, cfg Config) (*EpochResult
 		tbl = cluster.NewTable(e, lites, cfg.MaxDims)
 	}
 	defer tbl.Release()
-	res := &EpochResult{Epoch: e}
+	return analyzeTable(tbl, cfg, workers)
+}
+
+// AnalyzeEpochTable analyses a pre-built count table — the aggregator's
+// path, where the table was merged from per-node partials (see
+// cluster.AssembleTable) rather than built from one local session slice.
+// The caller keeps ownership of tbl and releases it. Results are identical
+// to AnalyzeEpoch over the same sessions in the same order: table counts
+// are exact integer sums however they were accumulated, and every float
+// pass reads the table and tbl.Sessions deterministically.
+func AnalyzeEpochTable(tbl *cluster.Table, cfg Config) (*EpochResult, error) {
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return analyzeTable(tbl, cfg, effectiveWorkers(cfg.Workers, len(tbl.Sessions)))
+}
+
+// analyzeTable runs the per-metric view/detect passes over a built table.
+func analyzeTable(tbl *cluster.Table, cfg Config, workers int) (*EpochResult, error) {
+	res := &EpochResult{Epoch: tbl.Epoch}
 	if workers > 1 {
 		// Fan the independent metrics out as a second parallel dimension:
 		// each goroutine reads the shared (now read-only) table and writes

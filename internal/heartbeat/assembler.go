@@ -77,6 +77,13 @@ func (a *Assembler) Handle(m *Message) error {
 	defer a.mu.Unlock()
 	switch m.Kind {
 	case KindHello:
+		if m.SessionID&ControlSessionBit != 0 {
+			// Control-plane identity (a relay node announcing itself), not a
+			// player session — never assemble, never salvage as a phantom
+			// join failure. Connection-level handling happens in the serving
+			// layer; the assembler just refuses to track it.
+			return nil
+		}
 		if p, dup := a.pending[m.SessionID]; dup {
 			// Re-Hello: a sender replaying its session after reconnect.
 			// Identical identity refreshes the session; a conflicting one
@@ -138,7 +145,7 @@ func (a *Assembler) Handle(m *Message) error {
 			return fmt.Errorf("heartbeat: End before Joined for session %d", m.SessionID)
 		}
 		delete(a.pending, m.SessionID)
-		a.finishLocked(p, m.DurationS)
+		a.finishLocked(p, m.DurationS, m.BufferingS, m.WeightedKbpsSec)
 	case KindFailed:
 		p, err := a.get(m.SessionID)
 		if err != nil {
@@ -150,6 +157,19 @@ func (a *Assembler) Handle(m *Message) error {
 		delete(a.pending, m.SessionID)
 		p.s.QoE = metric.QoE{JoinFailed: true}
 		a.emitLocked(p.s)
+	case KindSession:
+		// A relay forwarding an already-assembled record: emit it verbatim.
+		// Duplicates (sender replay after a lost ack) dedup exactly like
+		// completed heartbeat sessions; a full record supersedes any partial
+		// heartbeat state accumulated under the same ID.
+		if _, done := a.recent[m.SessionID]; done {
+			a.replaysDroppd++
+			return nil
+		}
+		delete(a.pending, m.SessionID)
+		a.emitLocked(m.Sess)
+	case KindStatus, KindAck:
+		// Connection-level frames; nothing to assemble.
 	default:
 		return fmt.Errorf("heartbeat: unknown kind %v", m.Kind)
 	}
@@ -187,19 +207,33 @@ func (a *Assembler) emitLocked(s session.Session) {
 	a.emit(s)
 }
 
-// finishLocked completes a joined session from its last progress report.
-func (a *Assembler) finishLocked(p *pendingSession, durationS float64) {
+// finishLocked completes a joined session from the monotone max of its last
+// progress report and the End frame's final totals. The counters are
+// cumulative and nondecreasing, so max reconstructs the true final state
+// even when the last Progress frame was lost with a dropped connection and
+// only the replayed End made it through — without it, such a session would
+// finish with stale buffering/bitrate totals and could flip problem bits
+// nondeterministically.
+func (a *Assembler) finishLocked(p *pendingSession, durationS, bufferingS, weightedKbpsSec float64) {
 	q := &p.s.QoE
 	played := p.progress.PlayedS
 	if durationS > played {
 		played = durationS
 	}
-	total := played + p.progress.BufferingS
+	buffering := p.progress.BufferingS
+	if bufferingS > buffering {
+		buffering = bufferingS
+	}
+	weighted := p.progress.WeightedKbpsSec
+	if weightedKbpsSec > weighted {
+		weighted = weightedKbpsSec
+	}
+	total := played + buffering
 	if total > 0 {
-		q.BufRatio = p.progress.BufferingS / total
+		q.BufRatio = buffering / total
 	}
 	if played > 0 {
-		q.BitrateKbps = p.progress.WeightedKbpsSec / played
+		q.BitrateKbps = weighted / played
 	}
 	q.DurationS = played
 	a.emitLocked(p.s)
@@ -240,7 +274,7 @@ func (a *Assembler) Flush(force bool) int {
 		delete(a.pending, id)
 		n++
 		if p.joined {
-			a.finishLocked(p, p.progress.PlayedS)
+			a.finishLocked(p, p.progress.PlayedS, 0, 0)
 		} else {
 			a.salvaged++
 			p.s.QoE = metric.QoE{JoinFailed: true}

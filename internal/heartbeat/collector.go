@@ -195,6 +195,15 @@ type readDeadliner interface {
 	SetReadDeadline(t time.Time) error
 }
 
+// writeDeadliner bounds ack writes the same way.
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// ackWriteTimeout bounds one acknowledgment write; a client that stops
+// draining its ack stream loses the connection, never wedges the handler.
+const ackWriteTimeout = 5 * time.Second
+
 // ServeConn decodes one heartbeat stream until EOF, a protocol error, or an
 // idle timeout. Exposed so tests and in-process pipelines can drive the
 // collector over net.Pipe or any io.ReadCloser. A panic while handling a
@@ -212,6 +221,7 @@ func (c *Collector) ServeConn(conn io.ReadCloser) {
 	}()
 	rd, _ := conn.(readDeadliner)
 	r := NewReader(conn)
+	var ackW *Writer // non-nil once a Hello asked for ack mode
 	var m Message
 	for {
 		if rd != nil && c.ReadIdleTimeout > 0 {
@@ -233,8 +243,52 @@ func (c *Collector) ServeConn(conn io.ReadCloser) {
 			}
 			// Protocol violations drop the message, not the connection:
 			// one misbehaving player must not sever a shared reporter.
+			continue
+		}
+		if m.Kind == KindHello && m.AckMode && ackW == nil {
+			if w, ok := conn.(io.Writer); ok {
+				ackW = NewWriter(w)
+			}
+		}
+		if ackW != nil && kindNeedsAck(m.Kind) {
+			// Acknowledge only after Handle succeeded — including the dedup
+			// path, where the session is already assembled and the replayed
+			// frame was dropped; either way the sender may retire it.
+			if wd, ok := conn.(writeDeadliner); ok {
+				_ = wd.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
+			}
+			if err := ackW.Write(&Message{Kind: KindAck, SessionID: m.SessionID}); err != nil {
+				if c.Logf != nil {
+					c.Logf("heartbeat: ack write: %v (connection dropped)", err)
+				}
+				return // the sender will reconnect and re-deliver
+			}
 		}
 	}
+}
+
+// Abort is the process-kill model: listener and every live connection close
+// immediately, with no drain grace, and pending assembler state is dropped —
+// not flushed — exactly as a killed process would drop it. The chaos soak
+// uses it to model a collector node dying mid-epoch. Idempotent; Close after
+// Abort reports the collector already closed.
+func (c *Collector) Abort() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ln := c.ln
+	for conn := range c.conns {
+		c.forceClosed.Add(1)
+		_ = conn.Close() // abrupt teardown is the point
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close() // accept loop exits via net.ErrClosed
+	}
+	c.wg.Wait()
 }
 
 // Close stops accepting and shuts down gracefully: connection handlers get
@@ -330,7 +384,16 @@ func sessionMessages(dst []Message, s *session.Session, progressEvery int) []Mes
 			WeightedKbpsSec: q.BitrateKbps * total * frac,
 		})
 	}
-	return append(dst, Message{Kind: KindEnd, SessionID: s.ID, DurationS: total})
+	// End carries the authoritative totals: if the connection died after the
+	// last Progress frame was lost, the collector still reconstructs the
+	// exact final QoE from End alone.
+	return append(dst, Message{
+		Kind:            KindEnd,
+		SessionID:       s.ID,
+		DurationS:       total,
+		BufferingS:      buffering,
+		WeightedKbpsSec: q.BitrateKbps * total,
+	})
 }
 
 // Emitter is the client-side measurement module: it reports one session's

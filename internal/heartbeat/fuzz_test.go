@@ -3,6 +3,8 @@ package heartbeat
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/session"
 )
 
 // FuzzDecode ensures arbitrary payloads never panic the heartbeat decoder
@@ -14,6 +16,10 @@ func FuzzDecode(f *testing.F) {
 		{Kind: KindProgress, SessionID: 1, PlayedS: 10, BufferingS: 1, WeightedKbpsSec: 100},
 		{Kind: KindEnd, SessionID: 1, DurationS: 60},
 		{Kind: KindFailed, SessionID: 1},
+		{Kind: KindHello, SessionID: 2, Epoch: 4, AckMode: true},
+		SessionMessage(&session.Session{ID: 7, Epoch: 2, EventIDs: session.NoEvents}),
+		{Kind: KindStatus, SessionID: ControlSessionBit | 3, Status: [4]uint64{1, 2, 3, 4}},
+		{Kind: KindAck, SessionID: 9},
 	} {
 		frame, err := Append(nil, &m)
 		if err != nil {

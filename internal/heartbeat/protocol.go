@@ -14,16 +14,32 @@
 //	frame  := u32 payload-length, payload, u32 crc32c(payload)
 //	payload:= u8 type, u64 session-id, fields…
 //
-//	Hello    (1): i32 epoch, 7×i32 attributes
+//	Hello    (1): i32 epoch, 7×i32 attributes, u8 flags (optional; bit 0: ack mode)
 //	Joined   (2): f64 join-time-ms
 //	Progress (3): f64 played-s, f64 buffering-s, f64 Σ(bitrate×played)-kbps·s
-//	End      (4): f64 duration-s
+//	End      (4): f64 duration-s, f64 buffering-s, f64 Σ(bitrate×played)-kbps·s
+//	              (authoritative final totals; the two trailing fields are
+//	              absent in frames from old encoders and decode as zero)
 //	Failed   (5): —
+//	Session  (6): fixed-width session record (see session.AppendBinary)
+//	Status   (7): 4×u64 cumulative counters
+//	Ack      (8): — (collector→sender delivery acknowledgment)
 //
 // A session is Hello → (Joined → Progress* → End | Failed). Sessions whose
 // connection drops after Hello without a player status are assembled as
 // join failures — the paper's semantics for players that never reported
 // playback.
+//
+// Session frames are the relay tier's format: one frame carries one
+// fully-assembled session record bit-exactly (the QoE floats round-trip
+// through math.Float64bits), so an edge collector can forward sessions to a
+// central aggregator without re-deriving QoE from heartbeat arithmetic.
+// Status frames carry a relay node's cumulative loss counters for coverage
+// accounting. Ack frames flow the other way: a collector acknowledges End,
+// Failed, and Session frames on connections whose Hello asked for ack mode,
+// so a sender retires its replay state only once the session is assembled —
+// the property that makes exact session conservation provable when a
+// collector process is killed with frames still in its socket buffers.
 package heartbeat
 
 import (
@@ -35,6 +51,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/epoch"
+	"repro/internal/session"
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on the
@@ -51,11 +68,28 @@ const (
 	KindProgress
 	KindEnd
 	KindFailed
+	// KindSession carries one fully-assembled session record in a single
+	// frame — the idempotent unit of node→aggregator relay transfer.
+	KindSession
+	// KindStatus carries cumulative node counters (relay/spool loss
+	// accounting); index semantics belong to the relay tier.
+	KindStatus
+	// KindAck acknowledges delivery of an End, Failed, or Session frame on
+	// ack-mode connections.
+	KindAck
 )
+
+// ControlSessionBit marks a session ID as a control-plane identity — a
+// relay node announcing itself to an aggregator — rather than a player
+// session. Hellos carrying it register connection context but must never
+// assemble into a session record; the assembler drops them on the floor so
+// a node identity cannot surface as a phantom join failure.
+const ControlSessionBit uint64 = 1 << 63
 
 var kindNames = map[Kind]string{
 	KindHello: "Hello", KindJoined: "Joined", KindProgress: "Progress",
 	KindEnd: "End", KindFailed: "Failed",
+	KindSession: "Session", KindStatus: "Status", KindAck: "Ack",
 }
 
 // String returns the message kind name.
@@ -71,9 +105,11 @@ type Message struct {
 	Kind      Kind
 	SessionID uint64
 
-	// Hello fields.
-	Epoch epoch.Index
-	Attrs attr.Vector
+	// Hello fields. AckMode asks the collector to acknowledge End, Failed,
+	// and Session frames on this connection (see KindAck).
+	Epoch   epoch.Index
+	Attrs   attr.Vector
+	AckMode bool
 
 	// Joined field.
 	JoinTimeMS float64
@@ -83,8 +119,22 @@ type Message struct {
 	BufferingS      float64
 	WeightedKbpsSec float64
 
-	// End field.
+	// End field; the frame's final buffering/weighted-bitrate totals ride
+	// the cumulative Progress fields above.
 	DurationS float64
+
+	// Session field: the fully-assembled record (Sess.ID must equal
+	// SessionID; both codecs enforce it).
+	Sess session.Session
+
+	// Status fields: cumulative counters whose index semantics belong to
+	// the relay tier (see internal/ingest).
+	Status [4]uint64
+}
+
+// SessionMessage wraps a completed session as a relay frame.
+func SessionMessage(s *session.Session) Message {
+	return Message{Kind: KindSession, SessionID: s.ID, Sess: *s}
 }
 
 // MaxFrameSize bounds a legal frame, defending the collector against
@@ -109,6 +159,11 @@ func Append(dst []byte, m *Message) ([]byte, error) {
 			binary.LittleEndian.PutUint32(payload[n:], uint32(m.Attrs[i]))
 			n += 4
 		}
+		// Trailing flags byte; old decoders ignore payload past the attrs.
+		if m.AckMode {
+			payload[n] = 1
+		}
+		n++
 	case KindJoined:
 		put(m.JoinTimeMS)
 	case KindProgress:
@@ -117,7 +172,20 @@ func Append(dst []byte, m *Message) ([]byte, error) {
 		put(m.WeightedKbpsSec)
 	case KindEnd:
 		put(m.DurationS)
+		put(m.BufferingS)
+		put(m.WeightedKbpsSec)
 	case KindFailed:
+	case KindSession:
+		if m.Sess.ID != m.SessionID {
+			return nil, fmt.Errorf("heartbeat: session frame ID %d != record ID %d", m.SessionID, m.Sess.ID)
+		}
+		n = len(session.AppendBinary(payload[:n], &m.Sess))
+	case KindStatus:
+		for _, v := range m.Status {
+			binary.LittleEndian.PutUint64(payload[n:], v)
+			n += 8
+		}
+	case KindAck:
 	default:
 		return nil, fmt.Errorf("heartbeat: unknown kind %v", m.Kind)
 	}
@@ -162,6 +230,10 @@ func Decode(payload []byte, m *Message) error {
 			m.Attrs[i] = int32(binary.LittleEndian.Uint32(rest))
 			rest = rest[4:]
 		}
+		// Optional trailing flags byte; absent in frames from old encoders.
+		if len(rest) > 0 {
+			m.AckMode = rest[0]&1 != 0
+		}
 	case KindJoined:
 		if err := need(8); err != nil {
 			return err
@@ -179,7 +251,32 @@ func Decode(payload []byte, m *Message) error {
 			return err
 		}
 		m.DurationS = f64()
+		// Optional final totals; absent in frames from old encoders. Without
+		// them the assembler falls back to the last Progress report alone.
+		if len(rest) >= 16 {
+			m.BufferingS = f64()
+			m.WeightedKbpsSec = f64()
+		}
 	case KindFailed:
+	case KindSession:
+		if err := need(session.BinarySize()); err != nil {
+			return err
+		}
+		if _, err := session.DecodeBinary(rest, &m.Sess); err != nil {
+			return fmt.Errorf("heartbeat: session frame: %w", err)
+		}
+		if m.Sess.ID != m.SessionID {
+			return fmt.Errorf("heartbeat: session frame ID %d != record ID %d", m.SessionID, m.Sess.ID)
+		}
+	case KindStatus:
+		if err := need(8 * len(m.Status)); err != nil {
+			return err
+		}
+		for i := range m.Status {
+			m.Status[i] = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+		}
+	case KindAck:
 	default:
 		return fmt.Errorf("heartbeat: unknown kind %d", payload[0])
 	}

@@ -29,10 +29,27 @@ type SenderConfig struct {
 	// fleet of players reconnecting to a restarted collector from
 	// thundering in lockstep.
 	Jitter float64
-	// Seed makes the jitter stream deterministic (tests); the zero seed is
-	// fine for production, determinism just isn't guaranteed across
-	// senders then.
+	// Seed makes the jitter stream deterministic: a non-zero seed derives
+	// the stream reproducibly, the zero seed draws per-sender entropy so
+	// distinct senders never share a jitter schedule (a fleet of zero-seed
+	// senders used to share one stream and back off in lockstep —
+	// thundering herd by construction).
 	Seed uint64
+	// Rand, when non-nil, supplies the jitter stream directly and wins over
+	// Seed — chaos soaks inject a split of the scenario RNG so distributed
+	// runs replay deterministically without touching any global state.
+	Rand *stats.RNG
+	// AckMode asks the collector (via a Hello flags bit) to acknowledge
+	// End, Failed, and Session frames; Send then returns success only once
+	// the frame is acknowledged, so replay state retires only after the
+	// collector has durably assembled the session. This is what makes exact
+	// session conservation provable when a collector is killed with frames
+	// still in its socket buffers.
+	AckMode bool
+	// AckTimeout bounds the wait for each acknowledgment before the
+	// connection is dropped and the frame retried (default 2s). Close may
+	// block up to this long if it races an in-flight ack wait.
+	AckTimeout time.Duration
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -48,7 +65,27 @@ func (c SenderConfig) withDefaults() SenderConfig {
 	if c.Jitter <= 0 || c.Jitter > 1 {
 		c.Jitter = 0.5
 	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 2 * time.Second
+	}
 	return c
+}
+
+// senderEntropy decorrelates zero-seed senders: each draws a distinct
+// counter value mixed with the wall clock, so no two share a jitter stream.
+var senderEntropy atomic.Uint64
+
+// jitterRNG resolves the configured jitter stream: an injected Rand wins,
+// then a non-zero Seed (deterministic), then per-sender entropy.
+func (c SenderConfig) jitterRNG() *stats.RNG {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) ^ senderEntropy.Add(1)<<32
+	}
+	return stats.NewRNG(seed).Split(0x5E4D)
 }
 
 // SenderStats snapshots a sender's delivery counters.
@@ -82,6 +119,7 @@ type Sender struct {
 	mu        sync.Mutex
 	conn      net.Conn
 	w         *Writer
+	r         *Reader // ack stream; non-nil only in ack mode with a live conn
 	replay    []Message
 	rng       *stats.RNG
 	connected bool // a connection has succeeded at least once
@@ -99,7 +137,7 @@ func NewSender(dial func() (net.Conn, error), cfg SenderConfig) *Sender {
 	return &Sender{
 		dial: dial,
 		cfg:  cfg,
-		rng:  stats.NewRNG(cfg.Seed).Split(0x5E4D),
+		rng:  cfg.jitterRNG(),
 		done: make(chan struct{}),
 	}
 }
@@ -131,6 +169,9 @@ func (s *Sender) Send(m *Message) error {
 	if s.isClosed() {
 		return ErrSenderClosed
 	}
+	if s.cfg.AckMode && m.Kind == KindHello {
+		m.AckMode = true // carried on replays too, via trackLocked's copy
+	}
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 && !s.backoffLocked(attempt) {
 			return ErrSenderClosed
@@ -140,6 +181,11 @@ func (s *Sender) Send(m *Message) error {
 		}
 		if err := s.w.Write(m); err != nil {
 			s.dropConnLocked(err)
+			continue
+		}
+		if s.cfg.AckMode && kindNeedsAck(m.Kind) && !s.awaitAckLocked(m.SessionID) {
+			// The frame may or may not have been assembled; retry re-writes
+			// it and the collector's dedup window absorbs the duplicate.
 			continue
 		}
 		s.sent.Add(1)
@@ -202,6 +248,9 @@ func (s *Sender) connectLocked() bool {
 	}
 	s.connected = true
 	s.conn, s.w = conn, NewWriter(conn)
+	if s.cfg.AckMode {
+		s.r = NewReader(conn)
+	}
 	if len(s.replay) == 0 {
 		return true
 	}
@@ -226,7 +275,37 @@ func (s *Sender) dropConnLocked(err error) {
 	if s.conn != nil {
 		_ = s.conn.Close() // the write error is the one that matters
 	}
-	s.conn, s.w = nil, nil
+	s.conn, s.w, s.r = nil, nil, nil
+}
+
+// kindNeedsAck reports whether a frame retires replay state and therefore
+// must be acknowledged before Send may report success in ack mode.
+func kindNeedsAck(k Kind) bool {
+	return k == KindEnd || k == KindFailed || k == KindSession
+}
+
+// awaitAckLocked blocks (bounded by AckTimeout) for the collector's
+// acknowledgment of the frame just written for session id. Any failure —
+// timeout, connection loss, or a frame that is not the expected ack — drops
+// the connection so the caller's retry loop re-delivers.
+func (s *Sender) awaitAckLocked(id uint64) bool {
+	if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.AckTimeout)); err != nil {
+		s.dropConnLocked(fmt.Errorf("heartbeat: arming ack deadline: %w", err))
+		return false
+	}
+	var ack Message
+	err := s.r.Read(&ack)
+	if err == nil {
+		if ack.Kind == KindAck && ack.SessionID == id {
+			_ = s.conn.SetReadDeadline(time.Time{})
+			return true
+		}
+		// The sender keeps at most one acked frame outstanding, so anything
+		// else here is a protocol violation, not a stale ack.
+		err = fmt.Errorf("heartbeat: unexpected %v frame for session %d awaiting ack for %d", ack.Kind, ack.SessionID, id)
+	}
+	s.dropConnLocked(err)
+	return false
 }
 
 // trackLocked maintains the replay state after a successful write: Hello

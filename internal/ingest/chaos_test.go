@@ -1,0 +1,222 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/faultnet"
+	"repro/internal/testutil"
+)
+
+// ingestChaosSeed pins player behaviour, fault schedules, and backoff
+// jitter so a soak failure replays exactly.
+const ingestChaosSeed = 0x1A6E57
+
+// sealHealthyEpoch seals e and checks it both healthy and byte-identical
+// to a single-collector analysis of the same ID set.
+func sealHealthyEpoch(t *testing.T, agg *Aggregator, e epoch.Index, ids []uint64, cfg core.Config) {
+	t.Helper()
+	cov, res, err := agg.Seal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Degraded || cov.Starved || res == nil {
+		t.Fatalf("epoch %d should be healthy: %+v (res %v)", e, cov, res != nil)
+	}
+	if cov.Sessions != len(ids) {
+		t.Fatalf("epoch %d sealed %d sessions, want %d", e, cov.Sessions, len(ids))
+	}
+	sorted := make([]uint64, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lites := make([]cluster.Lite, len(sorted))
+	for i, id := range sorted {
+		s := mkSession(id, e)
+		lites[i] = cluster.Digest(&s, cfg.Thresholds)
+	}
+	want, err := core.AnalyzeEpoch(e, lites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		gotJSON, _ := json.Marshal(res)
+		wantJSON, _ := json.Marshal(want)
+		t.Fatalf("epoch %d distributed result differs from single-collector baseline:\n got %s\nwant %s", e, gotJSON, wantJSON)
+	}
+}
+
+// TestNodeKillChaosSoak drives three epochs of players through a
+// three-node ring into one aggregator, under client-side fault injection,
+// and kills + restarts one node mid-epoch-1. The invariants:
+//
+//   - exact conservation: every session started is delivered exactly once
+//     (the per-epoch unique counts reach the started counts, with zero
+//     shed and zero abandoned anywhere in the tier);
+//   - the interrupted epoch is stamped degraded and the detector freezes
+//     (GapEpochs) instead of analysing a biased sample;
+//   - the healthy epochs analyse byte-identically to a single-collector
+//     run of the same sessions.
+func TestNodeKillChaosSoak(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+
+	perEpoch := 60
+	if testing.Short() {
+		perEpoch = 24
+	}
+	cfg := testAnalysis(perEpoch)
+
+	agg, err := NewAggregator(AggregatorConfig{Analysis: cfg, ExpectNodes: 3, Logf: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	aggAddr := agg.Addr().String()
+	aggDial := func() (net.Conn, error) { return net.Dial("tcp", aggAddr) }
+
+	dirs := map[uint64]string{1: t.TempDir(), 2: t.TempDir(), 3: t.TempDir()}
+	nodes := make(map[string]*Node)
+	memberID := make(map[string]uint64)
+	ring := NewRing(0)
+	for id := uint64(1); id <= 3; id++ {
+		nd := startNodeAt(t, id, 1, "127.0.0.1:0", dirs[id], 8, aggDial)
+		m := nd.Addr().String()
+		nodes[m] = nd
+		memberID[m] = id
+		ring.Add(m)
+	}
+	currentNodes := func() []*Node {
+		out := make([]*Node, 0, 3)
+		for _, nd := range nodes {
+			out = append(out, nd)
+		}
+		return out
+	}
+	epochIDs := func(e int) []uint64 {
+		ids := make([]uint64, perEpoch)
+		for i := range ids {
+			ids[i] = uint64(e*perEpoch + i + 1)
+		}
+		return ids
+	}
+
+	faults := &faultConns{}
+	fcfg := faultnet.Config{
+		StallProb:        0.02,
+		StallMax:         time.Millisecond,
+		ResetProb:        0.02,
+		PartialWriteProb: 0.02,
+	}
+	var abandoned sync.Map
+	failIfAbandoned := func(phase string) {
+		t.Helper()
+		abandoned.Range(func(k, v any) bool {
+			t.Fatalf("%s: player %v abandoned: %v (retry budget should always win)", phase, k, v)
+			return false
+		})
+	}
+
+	// ---- Epoch 0: all nodes healthy. ----
+	spawnPlayers(ring, 0, epochIDs(0), ingestChaosSeed, faults, fcfg, &abandoned).Wait()
+	failIfAbandoned("epoch 0")
+	rotateAndWait(t, currentNodes(), 20*time.Second, "epoch 0 at aggregator", func() bool {
+		return agg.EpochSessions(0) == perEpoch
+	})
+	sealHealthyEpoch(t, agg, 0, epochIDs(0), cfg)
+
+	// ---- Epoch 1: kill one node mid-epoch, restart it. ----
+	wg1 := spawnPlayers(ring, 1, epochIDs(1), ingestChaosSeed, faults, fcfg, &abandoned)
+	// Wait until the epoch is visibly open at the aggregator (so the
+	// restart announcement lands on it) and then pull the plug with
+	// players still in flight.
+	waitFor(t, 20*time.Second, "epoch 1 visible at aggregator", func() bool {
+		return agg.EpochSessions(1) >= 1
+	})
+	victimMember, _ := ring.Owner(epochIDs(1)[0])
+	victim := nodes[victimMember]
+	victimID := memberID[victimMember]
+	victim.Kill()
+	restarted := startNodeAt(t, victimID, 2, victimMember, dirs[victimID], 8, aggDial)
+	nodes[victimMember] = restarted
+	wg1.Wait()
+	failIfAbandoned("epoch 1")
+	rotateAndWait(t, currentNodes(), 30*time.Second, "epoch 1 at aggregator", func() bool {
+		return agg.EpochSessions(1) == perEpoch
+	})
+	cov1, res1, err := agg.Seal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov1.Degraded || cov1.Restarts == 0 {
+		t.Fatalf("epoch 1 survived a node kill undegraded: %+v", cov1)
+	}
+	if res1 != nil {
+		t.Fatal("degraded epoch was analysed; it must freeze the detector instead")
+	}
+	if cov1.Sessions != perEpoch {
+		t.Fatalf("conservation broken across the kill: %d unique sessions, want %d", cov1.Sessions, perEpoch)
+	}
+
+	// ---- Epoch 2: fleet healthy again (same node ID, new incarnation). ----
+	spawnPlayers(ring, 2, epochIDs(2), ingestChaosSeed, faults, fcfg, &abandoned).Wait()
+	failIfAbandoned("epoch 2")
+	rotateAndWait(t, currentNodes(), 20*time.Second, "epoch 2 at aggregator", func() bool {
+		return agg.EpochSessions(2) == perEpoch
+	})
+	sealHealthyEpoch(t, agg, 2, epochIDs(2), cfg)
+
+	// ---- Teardown and the global ledger. ----
+	for _, nd := range nodes {
+		if err := nd.Close(5 * time.Second); err != nil {
+			t.Fatalf("closing node: %v", err)
+		}
+	}
+	if err := agg.CloseGrace(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	started := 3 * perEpoch
+	delivered := 0
+	for _, cov := range agg.Coverages() {
+		delivered += cov.Sessions
+	}
+	var shed int64
+	for _, nd := range nodes {
+		st := nd.Stats()
+		shed += st.Relay.Shed + st.Relay.Abandoned + st.Spool.Shed
+	}
+	// The killed incarnation's ledger counts too: its losses (if any) are
+	// part of the same conservation law.
+	vst := victim.Stats()
+	shed += vst.Relay.Shed + vst.Relay.Abandoned + vst.Spool.Shed
+	if delivered+int(shed) != started {
+		t.Fatalf("conservation broken: delivered %d + shed %d != started %d", delivered, shed, started)
+	}
+	if shed != 0 {
+		t.Fatalf("tier shed %d sessions despite ack-gated shipping at every hop", shed)
+	}
+
+	det := agg.Detector()
+	if det.Epochs != 3 || det.GapEpochs != 1 {
+		t.Fatalf("detector saw %d epochs, %d gaps; want 3 and 1", det.Epochs, det.GapEpochs)
+	}
+	st := agg.Stats()
+	if st.HandlerPanics != 0 || st.ProtocolErrors != 0 {
+		t.Fatalf("aggregator errors under chaos: %+v", st)
+	}
+	fs := faults.total()
+	if fs.Stalls == 0 || fs.Resets == 0 || fs.PartialWrites == 0 {
+		t.Fatalf("fault classes did not all fire: %+v", fs)
+	}
+	t.Logf("soak: %d players over 3 epochs, dup deliveries %d, recovered by restart %d, player faults %+v",
+		started, st.DupSessions, restarted.Stats().Relay.Recovered, fs)
+}

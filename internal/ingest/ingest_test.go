@@ -1,0 +1,58 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/epoch"
+	"repro/internal/heartbeat"
+	"repro/internal/metric"
+	"repro/internal/session"
+)
+
+// fastSenderConfig keeps relay retry loops fast enough for tests while
+// staying deterministic per seed.
+func fastSenderConfig(seed uint64) heartbeat.SenderConfig {
+	return heartbeat.SenderConfig{
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		MaxAttempts: 3,
+		Seed:        seed,
+	}
+}
+
+// mkSession builds a deterministic session whose QoE varies enough to light
+// different problem bits across the fleet. Pure function of (id, e) so every
+// test — and both sides of an equivalence check — regenerates identical
+// records.
+func mkSession(id uint64, e epoch.Index) session.Session {
+	return session.Session{
+		ID:    id,
+		Epoch: e,
+		Attrs: attr.Vector{
+			int32(id % 3), int32(id % 2), int32(id % 4),
+			int32(id % 5), 1, 0, int32(id % 2),
+		},
+		QoE: metric.QoE{
+			JoinFailed:  id%23 == 0,
+			JoinTimeMS:  100 * float64(id%30),
+			BufRatio:    float64(id%10) / 50,
+			BitrateKbps: 500 + float64(id%40)*100,
+			DurationS:   60 + float64(id%120),
+		},
+		EventIDs: session.NoEvents,
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,165 @@
+// Package ingest is the distributed ingestion tier: N edge collector nodes
+// accept player heartbeat connections, each session owned by exactly one
+// node chosen by consistent hash of its session ID, and relay assembled
+// session records over disk-backed spools to a central aggregator that
+// merges per-node partial count tables and stamps every epoch with a
+// coverage record. The paper's analysis assumes every session reaches one
+// aggregation point; this tier keeps that true — or, when nodes die
+// mid-epoch, makes the loss explicit so degraded epochs freeze the online
+// detector instead of fabricating quality events.
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// defaultReplicas is the virtual-point count per ring member. 64 points
+// keeps the ownership split within a few percent of uniform for small
+// member counts without making rebuilds expensive.
+const defaultReplicas = 64
+
+// mix64 is the splitmix64 finalizer: a full-avalanche mixer, so session IDs
+// (often sequential) and member-name hashes spread uniformly around the
+// ring.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes a member name (an address string) to the ring's key space.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring of collector members (addresses). Every
+// session ID maps to exactly one live member — the assembler that owns its
+// heartbeats — and membership changes move only the sessions whose arcs
+// changed hands. Safe for concurrent use: players resolve owners while an
+// operator adds or removes nodes.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	members  map[string]bool
+	points   []ringPoint
+	version  uint64
+}
+
+// NewRing builds an empty ring; replicas <= 0 uses the default.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	r.rebuildLocked()
+}
+
+// Remove deletes a member (idempotent). Sessions it owned re-resolve to the
+// surviving arcs on their next (re)connect.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	r.rebuildLocked()
+}
+
+// rebuildLocked regenerates the sorted point set. Points derive only from
+// member names, so a member removed and re-added lands on identical arcs.
+func (r *Ring) rebuildLocked() {
+	r.version++
+	r.points = r.points[:0]
+	for m := range r.members {
+		base := fnv64(m)
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: mix64(base + uint64(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Members returns the live members, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version counts membership changes; owners are stable between versions.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Owner resolves the member owning a session ID; ok is false on an empty
+// ring.
+func (r *Ring) Owner(sessionID uint64) (member string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := mix64(sessionID)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the arc past the last point belongs to the first
+	}
+	return r.points[i].member, true
+}
+
+// Dialer returns a dial function for one session that re-resolves the
+// session's owner at every (re)connect attempt. This is the handoff
+// protocol: when the ring changes, the session's Sender loses its
+// connection (the old owner died) or simply redials, the dialer lands on
+// the new owner, and the Sender's re-Hello replay re-establishes the
+// session there — no coordination channel beyond the ring itself.
+func (r *Ring) Dialer(sessionID uint64, dial func(member string) (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		m, ok := r.Owner(sessionID)
+		if !ok {
+			return nil, fmt.Errorf("ingest: ring empty, session %d unroutable", sessionID)
+		}
+		return dial(m)
+	}
+}

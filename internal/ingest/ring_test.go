@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+func TestRingDistributionRoughlyUniform(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"node-a:1", "node-b:2", "node-c:3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const n = 30000
+	counts := make(map[string]int)
+	for id := uint64(1); id <= n; id++ {
+		m, ok := r.Owner(id)
+		if !ok {
+			t.Fatal("owner not found on populated ring")
+		}
+		counts[m]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("member %s owns %.1f%% of sessions; want a rough third", m, 100*frac)
+		}
+	}
+}
+
+func TestRingMembershipChangeMovesOnlyAffectedArcs(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	const n = 10000
+	before := make(map[uint64]string, n)
+	for id := uint64(1); id <= n; id++ {
+		before[id], _ = r.Owner(id)
+	}
+
+	// Removing c must not move any session between a and b.
+	r.Remove("c")
+	moved := 0
+	for id := uint64(1); id <= n; id++ {
+		after, _ := r.Owner(id)
+		if before[id] != "c" {
+			if after != before[id] {
+				t.Fatalf("session %d moved %s→%s though only c left", id, before[id], after)
+			}
+			continue
+		}
+		if after == "c" {
+			t.Fatalf("session %d still owned by removed member", id)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("c owned nothing; distribution test should have caught this")
+	}
+
+	// Re-adding c restores its arcs exactly: points derive from names only.
+	r.Add("c")
+	for id := uint64(1); id <= n; id++ {
+		if after, _ := r.Owner(id); after != before[id] {
+			t.Fatalf("session %d owner %s != original %s after c rejoined", id, after, before[id])
+		}
+	}
+}
+
+func TestRingVersionAndEmpty(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Owner(42); ok {
+		t.Fatal("empty ring resolved an owner")
+	}
+	v0 := r.Version()
+	r.Add("x")
+	r.Add("x") // idempotent: no rebuild
+	if got := r.Version(); got != v0+1 {
+		t.Fatalf("version %d after one effective change, want %d", got, v0+1)
+	}
+	r.Remove("y") // not a member: no rebuild
+	if got := r.Version(); got != v0+1 {
+		t.Fatalf("version %d after no-op remove, want %d", got, v0+1)
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("members %v, want [x]", got)
+	}
+}
+
+func TestRingDialerReResolvesOwner(t *testing.T) {
+	r := NewRing(0)
+	r.Add("old")
+	var dialed []string
+	dial := func(member string) (net.Conn, error) {
+		dialed = append(dialed, member)
+		return nil, fmt.Errorf("test: no transport")
+	}
+	d := r.Dialer(7, dial)
+	_, _ = d()
+	r.Remove("old")
+	r.Add("new")
+	_, _ = d()
+	if len(dialed) != 2 || dialed[0] != "old" || dialed[1] != "new" {
+		t.Fatalf("dialer resolved %v, want [old new]", dialed)
+	}
+	r.Remove("new")
+	if _, err := d(); err == nil {
+		t.Fatal("dial on empty ring must fail, not hang")
+	}
+}

@@ -202,7 +202,47 @@ func (d *Detector) evalEpoch(e epoch.Index, lites []cluster.Lite) error {
 		return err
 	}
 	d.Epochs++
+	d.applyResult(e, res)
+	return nil
+}
 
+// ObserveResult feeds the detector one already-analysed epoch — the
+// aggregator's path, where sessions were assembled and analysed centrally
+// and the detector must not re-digest them. Epochs must arrive in strictly
+// increasing order, and the streaming entry points (Add/Pipeline) must not
+// be mixed with this one. A degraded epoch (coverage loss) or one below
+// MinEpochSessions freezes streak state exactly like the streaming gate:
+// res may then be nil, no alerts fire, and GapEpochs counts it. A healthy
+// epoch requires res.
+func (d *Detector) ObserveResult(e epoch.Index, res *core.EpochResult, sessions int, degraded bool) error {
+	if d.pipe != nil || len(d.buf) > 0 {
+		return fmt.Errorf("online: ObserveResult cannot mix with streaming Add/Pipeline")
+	}
+	if d.started && e <= d.cur {
+		return fmt.Errorf("online: result for epoch %d after epoch %d", e, d.cur)
+	}
+	gated := degraded || (d.MinEpochSessions > 0 && sessions < d.MinEpochSessions)
+	if !gated && res == nil {
+		return fmt.Errorf("online: healthy epoch %d observed without a result", e)
+	}
+	d.started = true
+	d.cur = e
+	d.Epochs++
+	if gated {
+		// Same reasoning as the streaming gate: a starved or
+		// degraded-coverage epoch is an ingestion artifact, not ground
+		// truth. Freeze streaks; never resolve off it.
+		d.GapEpochs++
+		return nil
+	}
+	d.applyResult(e, res)
+	return nil
+}
+
+// applyResult updates streaks and emits this epoch's alerts from an
+// analysis result. Shared verbatim between the streaming path (evalEpoch)
+// and the aggregator path (ObserveResult).
+func (d *Detector) applyResult(e epoch.Index, res *core.EpochResult) {
 	for _, m := range metric.All() {
 		ms := &res.Metrics[m]
 		now := make(map[attr.Key]*core.CriticalSummary, len(ms.Critical))
@@ -246,7 +286,6 @@ func (d *Detector) evalEpoch(e epoch.Index, lites []cluster.Lite) error {
 			}
 		}
 	}
-	return nil
 }
 
 func (d *Detector) send(a Alert) {

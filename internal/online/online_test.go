@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/attr"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/core/engine"
 	"repro/internal/epoch"
@@ -318,5 +319,125 @@ func TestDetectorPipelinedMatchesSynchronous(t *testing.T) {
 				t.Fatalf("non-pipelined detector stats = %+v", st)
 			}
 		}
+	}
+}
+
+// TestObserveResultMatchesStreaming proves the aggregator entry point is the
+// same detector: feeding per-epoch analysis results through ObserveResult —
+// with one mid-outage epoch marked degraded — produces exactly the alert
+// stream the streaming path produces with that epoch starved below the gate,
+// including the frozen (not resolved, not restarted) streak across the gap.
+func TestObserveResultMatchesStreaming(t *testing.T) {
+	g, _, _ := outageGenerator(t)
+	gapEpoch := epoch.Index(6)
+
+	// Reference: the streaming detector with the gap epoch starved.
+	var want []Alert
+	ref, err := NewDetector(detectorConfig(2500), func(a Alert) { want = append(want, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.MinEpochSessions = 100
+	kept := 0
+	if err := g.ForEach(func(s *session.Session) error {
+		if s.Epoch == gapEpoch {
+			if kept >= 10 {
+				return nil
+			}
+			kept++
+		}
+		return ref.Add(s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregator path: analyse each epoch centrally, observe the results.
+	var got []Alert
+	d, err := NewDetector(detectorConfig(2500), func(a Alert) { got = append(got, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MinEpochSessions = 100
+	g2, _, _ := outageGenerator(t)
+	cfg := detectorConfig(2500)
+	err = g2.ForEachEpoch(1, func(e epoch.Index, batch []session.Session) error {
+		if e == gapEpoch {
+			// The aggregator saw shed/lost coverage here: no result at all.
+			return d.ObserveResult(e, nil, len(batch), true)
+		}
+		lites := cluster.AcquireLites()
+		for i := range batch {
+			lites = append(lites, cluster.Digest(&batch[i], cfg.Thresholds))
+		}
+		res, err := core.AnalyzeEpoch(e, lites, cfg)
+		cluster.ReleaseLites(lites)
+		if err != nil {
+			return err
+		}
+		return d.ObserveResult(e, res, len(batch), false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("ObserveResult path emitted %d alerts, streaming path %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alert %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if d.Epochs != ref.Epochs || d.GapEpochs != ref.GapEpochs || d.Alerts != ref.Alerts {
+		t.Fatalf("counters %d/%d/%d, want %d/%d/%d",
+			d.Epochs, d.GapEpochs, d.Alerts, ref.Epochs, ref.GapEpochs, ref.Alerts)
+	}
+	if d.GapEpochs != 1 {
+		t.Fatalf("gap epochs = %d, want 1", d.GapEpochs)
+	}
+}
+
+// TestObserveResultGuards pins the entry point's misuse errors: mixing with
+// the streaming path, out-of-order epochs, and a healthy epoch without a
+// result.
+func TestObserveResultGuards(t *testing.T) {
+	d, err := NewDetector(detectorConfig(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ObserveResult(3, nil, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ObserveResult(3, nil, 0, true); err == nil {
+		t.Fatal("replayed epoch accepted")
+	}
+	if err := d.ObserveResult(2, nil, 0, true); err == nil {
+		t.Fatal("out-of-order epoch accepted")
+	}
+	if err := d.ObserveResult(4, nil, 10_000, false); err == nil {
+		t.Fatal("healthy epoch without a result accepted")
+	}
+	// A session count below MinEpochSessions gates even when the caller
+	// says the epoch was not degraded.
+	d.MinEpochSessions = 100
+	if err := d.ObserveResult(5, nil, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.GapEpochs != 2 {
+		t.Fatalf("gap epochs = %d, want 2", d.GapEpochs)
+	}
+
+	s, err := NewDetector(detectorConfig(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&session.Session{Epoch: 1, EventIDs: session.NoEvents}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveResult(2, nil, 0, true); err == nil {
+		t.Fatal("ObserveResult accepted while streaming sessions are buffered")
 	}
 }

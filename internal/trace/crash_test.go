@@ -185,3 +185,102 @@ func TestSyncEveryAndCrashRecoveryOnDisk(t *testing.T) {
 		t.Fatalf("recovered %d sessions (torn=%v), want %d with torn tail", got, r.TornTail(), len(sessions))
 	}
 }
+
+// TestRelaySpoolRotationCrashRecovery models satellite fact of the relay
+// tier: spool segments are trace containers written with Flush after every
+// record and sealed (synced, closed) at rotation. A node killed mid-rotation
+// leaves a sealed previous segment and an active segment cut at an arbitrary
+// byte — anywhere from inside the container header to inside a record. The
+// sweep truncates the active segment at EVERY byte offset and requires one
+// of exactly two outcomes: a clean open error (header torn) or a successful
+// recovery of every complete record with TornTail set iff a partial record
+// was dropped. Never a decode error, never a phantom session.
+func TestRelaySpoolRotationCrashRecovery(t *testing.T) {
+	const perSeg = 4
+	want := sampleSessions(2 * perSeg)
+	dir := t.TempDir()
+
+	writeSegment := func(path string, sessions []session.Session, seal bool) []byte {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWriter(f, HeaderFor(testSpace(t), 1, 0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The relay's write path: record, then Flush — every record is on
+		// the file the instant the write returns, fsync left to the sealer.
+		for i := range sessions {
+			if err := w.Write(&sessions[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if seal {
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	sealed := writeSegment(filepath.Join(dir, "seg-000000.vqt"), want[:perSeg], true)
+	active := writeSegment(filepath.Join(dir, "seg-000001.vqt"), want[perSeg:], false)
+
+	// The sealed segment survives the crash byte-for-byte: full recovery.
+	r, err := NewReader(bytes.NewReader(sealed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != perSeg || r.TornTail() {
+		t.Fatalf("sealed segment: %d sessions (torn=%v), want %d intact", len(got), r.TornTail(), perSeg)
+	}
+
+	hdr := headerLen(t, active)
+	recSize := (len(active) - hdr) / perSeg
+	for cut := 0; cut <= len(active); cut++ {
+		r, err := NewReader(bytes.NewReader(active[:cut]))
+		if cut < hdr {
+			// Torn inside the container header: the segment must refuse to
+			// open with an ordinary error, not misparse.
+			if err == nil {
+				t.Fatalf("cut %d (inside %d-byte header): opened a torn header", cut, hdr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("cut %d: ReadAll: %v", cut, err)
+		}
+		wholeRecs := (cut - hdr) / recSize
+		partial := (cut-hdr)%recSize != 0
+		if len(got) != wholeRecs {
+			t.Fatalf("cut %d: recovered %d sessions, want %d", cut, len(got), wholeRecs)
+		}
+		for i := range got {
+			if got[i] != want[perSeg+i] {
+				t.Fatalf("cut %d: session %d corrupted by recovery", cut, i)
+			}
+		}
+		if r.TornTail() != partial {
+			t.Fatalf("cut %d: TornTail = %v, want %v", cut, r.TornTail(), partial)
+		}
+	}
+}

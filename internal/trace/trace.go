@@ -202,10 +202,12 @@ func (w *Writer) WriteAll(sessions []session.Session) error {
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint64 { return w.count }
 
-// Sync pushes everything written so far to stable storage: gzip-flush (a
-// decodable sync point), bufio flush, then fsync when the sink is a file.
-// In-memory sinks flush but have nothing to fsync.
-func (w *Writer) Sync() error {
+// Flush pushes everything written so far down to the underlying sink —
+// gzip-flush (a decodable sync point) then bufio flush — without an fsync.
+// The relay spool uses it to keep every record visible in its segment file
+// after each write while leaving fsync policy (and cost) to the segment
+// owner; for durability against machine crashes use Sync.
+func (w *Writer) Flush() error {
 	if w.closed {
 		return ErrClosed
 	}
@@ -214,7 +216,14 @@ func (w *Writer) Sync() error {
 			return err
 		}
 	}
-	if err := w.bw.Flush(); err != nil {
+	return w.bw.Flush()
+}
+
+// Sync is Flush plus fsync when the sink is a file: everything written so
+// far reaches stable storage. In-memory sinks flush but have nothing to
+// fsync.
+func (w *Writer) Sync() error {
+	if err := w.Flush(); err != nil {
 		return err
 	}
 	if f, ok := w.raw.(*os.File); ok {
