@@ -1,0 +1,184 @@
+// Command vqlint-vet adapts the repo's lint rules (internal/lint) to the
+// go vet driver protocol, so the same analyzers run under
+//
+//	go vet -vettool=$(command -v vqlint-vet) ./...
+//
+// and inherit go vet's incremental action cache and build-system integration
+// for free. The protocol (the one golang.org/x/tools/go/analysis/unitchecker
+// implements, reimplemented here on the standard library alone) has three
+// entry points:
+//
+//   - "-V=full" prints a content-addressed version line; the go command
+//     folds it into its action cache key so rebuilding the tool invalidates
+//     cached vet results.
+//   - "-flags" prints the tool's analyzer flags as a JSON array; vqlint-vet
+//     exposes none.
+//   - otherwise the single argument is a *.cfg file, a JSON description of
+//     one package: its source files plus export data for every import. The
+//     tool type-checks the package against that export data (no source
+//     re-loading, unlike the standalone vqlint), runs every rule, prints
+//     findings to stderr, and writes the (empty) facts file go vet expects.
+//
+// Standalone vqlint remains the primary interface — it has baselines, SARIF,
+// and the -cache replay mode — but the vet adapter lets editors and `go test`
+// wrappers that already speak vet surface the same findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// printVersion emits the line cmd/go's toolID parser expects: the program
+// name, the word "version", and a final buildID= field hashing the
+// executable, so a rebuilt tool re-keys every cached vet action.
+func printVersion() {
+	var sum [sha256.Size]byte
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(os.Args[0]), sum[:16])
+}
+
+// vetConfig is the subset of the go vet .cfg JSON the adapter needs. The go
+// command writes one per package; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func run(args []string, stderr io.Writer) int {
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintln(stderr, "vqlint-vet: expected a single *.cfg argument; run via go vet -vettool=") //vqlint:ignore errdrop terminal output; the exit code is the result
+		return 2
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "vqlint-vet: %v\n", err) //vqlint:ignore errdrop terminal output; the exit code is the result
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "vqlint-vet: parsing %s: %v\n", args[0], err) //vqlint:ignore errdrop terminal output; the exit code is the result
+		return 2
+	}
+
+	// vqlint-vet exports no facts, but the go command still demands the
+	// facts file of every action, dependency-only ones included.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o644); err != nil {
+			fmt.Fprintf(stderr, "vqlint-vet: %v\n", err) //vqlint:ignore errdrop terminal output; the exit code is the result
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := loadFromConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "vqlint-vet: %v\n", err) //vqlint:ignore errdrop terminal output; the exit code is the result
+		return 1
+	}
+	diags := lint.Run([]*lint.Package{pkg}, lint.All())
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Rule) //vqlint:ignore errdrop diagnostic stream go vet consumes; the exit code is the result
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadFromConfig parses and type-checks the package the .cfg describes.
+// Imports resolve through the export data the go command already compiled
+// (cfg.PackageFile), never through source, which is what makes the vet path
+// incremental: an unchanged dependency is a file open, not a re-typecheck.
+func loadFromConfig(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ID, err)
+	}
+	return &lint.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetIntegration builds the adapter and drives it through the real
+// go vet driver against a throwaway module: the buggy package must fail vet
+// with our rule IDs in the output, and the clean control must pass. This is
+// the protocol contract — -V=full, -flags, the .cfg round, vetx outputs —
+// exercised by the only client that matters.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and execs the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "vqlint-vet")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vqlint-vet: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"go.mod": "module vetmod\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\n" +
+			"func Eq(x, y float64) bool { return x == y }\n",
+		"ok/ok.go": "package ok\n\n" +
+			"func Three() int { return 3 }\n",
+	} {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, pattern)
+		cmd.Dir = dir
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+
+	out, err := vet("./bad")
+	if err == nil {
+		t.Fatalf("go vet on the buggy package passed; output:\n%s", out)
+	}
+	if !strings.Contains(out, "[floatcmp]") || !strings.Contains(out, "float comparison") {
+		t.Errorf("vet output missing the floatcmp finding:\n%s", out)
+	}
+
+	out, err = vet("./ok")
+	if err != nil {
+		t.Errorf("go vet on the clean package failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// cacheDoc is one cache file: the findings a single package produced under a
+// given content key. The key (the file name) already folds in the package
+// source, its in-module dependency closure, the rule set, and the toolchain,
+// so replaying Findings is exact — not heuristic. Path is stored for
+// debuggability and verified on read so a hash collision or a stale rename
+// cannot replay another package's findings.
+type cacheDoc struct {
+	Path     string    `json:"path"`
+	Findings []finding `json:"findings"`
+}
+
+// runCached implements -cache: plan the content key of every selected
+// package, replay the findings of the ones whose key file exists, and
+// analyze only the misses, persisting their findings for the next run.
+// Timings come back in planned package order with Cached set on every hit,
+// so CI can assert a warm run re-analyzed nothing.
+func runCached(cacheDir, cwd string, patterns []string, analyzers []*lint.Analyzer, workers int, assertAllCached bool) ([]finding, []lint.PkgTiming, error) {
+	salt := ruleSalt(analyzers)
+	entries, err := lint.PlanCache(cwd, patterns, salt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("creating cache dir: %w", err)
+	}
+
+	byPath := make(map[string][]finding, len(entries))
+	var misses []lint.CacheEntry
+	for _, e := range entries {
+		doc, ok := readCacheDoc(filepath.Join(cacheDir, e.Key+".json"), e.Path)
+		if ok {
+			byPath[e.Path] = doc.Findings
+		} else {
+			misses = append(misses, e)
+		}
+	}
+	if assertAllCached && len(misses) > 0 {
+		paths := make([]string, 0, len(misses))
+		for _, m := range misses {
+			paths = append(paths, m.Path)
+		}
+		return nil, nil, fmt.Errorf("-assert-all-cached: %d package(s) not cached: %v", len(misses), paths)
+	}
+
+	freshTimings := make(map[string]lint.PkgTiming, len(misses))
+	if len(misses) > 0 {
+		missPatterns := make([]string, 0, len(misses))
+		for _, m := range misses {
+			rel, err := filepath.Rel(cwd, m.Dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			missPatterns = append(missPatterns, "./"+filepath.ToSlash(rel))
+		}
+		pkgs, err := lint.Load(cwd, missPatterns)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags, timings := lint.RunConcurrent(pkgs, analyzers, workers)
+		for _, t := range timings {
+			freshTimings[t.Path] = t
+		}
+		// Partition the diagnostics back to their packages by directory:
+		// every analyzer reports at positions inside the package's own
+		// files, and loadDir parses them under the planned Dir.
+		dirToPath := make(map[string]string, len(misses))
+		for _, m := range misses {
+			dirToPath[m.Dir] = m.Path
+		}
+		for _, d := range diags {
+			path, ok := dirToPath[filepath.Dir(d.Pos.Filename)]
+			if !ok {
+				return nil, nil, fmt.Errorf("cache: diagnostic at %s matches no planned package", d.Pos.Filename)
+			}
+			byPath[path] = append(byPath[path], toFindings([]lint.Diagnostic{d}, cwd)...)
+		}
+		for _, m := range misses {
+			doc := cacheDoc{Path: m.Path, Findings: byPath[m.Path]}
+			if doc.Findings == nil {
+				doc.Findings = []finding{}
+			}
+			data, err := json.Marshal(doc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := os.WriteFile(filepath.Join(cacheDir, m.Key+".json"), append(data, '\n'), 0o644); err != nil {
+				return nil, nil, fmt.Errorf("writing cache entry: %w", err)
+			}
+		}
+	}
+
+	var findings []finding
+	timings := make([]lint.PkgTiming, 0, len(entries))
+	for _, e := range entries {
+		findings = append(findings, byPath[e.Path]...)
+		if t, ok := freshTimings[e.Path]; ok {
+			timings = append(timings, t)
+		} else {
+			timings = append(timings, lint.PkgTiming{Path: e.Path, Cached: true})
+		}
+	}
+	sortFindings(findings)
+	return findings, timings, nil
+}
+
+// readCacheDoc loads one cache file and validates it against the expected
+// import path. Any read, parse, or path mismatch is a miss, never an error —
+// the package is simply re-analyzed and the entry rewritten.
+func readCacheDoc(path, wantPath string) (cacheDoc, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cacheDoc{}, false
+	}
+	var doc cacheDoc
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Path != wantPath {
+		return cacheDoc{}, false
+	}
+	if doc.Findings == nil {
+		doc.Findings = []finding{}
+	}
+	return doc, true
+}
+
+// ruleSalt folds the enabled rule set into every cache key, so toggling
+// -rules can never replay findings computed under a different configuration.
+func ruleSalt(analyzers []*lint.Analyzer) string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	salt := "rules="
+	for i, n := range names {
+		if i > 0 {
+			salt += ","
+		}
+		salt += n
+	}
+	return salt
+}
+
+// sortFindings orders merged cached-and-fresh findings the same way the
+// baseline writer does, so output is identical whether the cache was warm,
+// cold, or partial.
+func sortFindings(findings []finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}

@@ -7,7 +7,8 @@
 //	vqlint [-rules floatcmp,lockbalance,...] [-list]
 //	       [-format text|json|sarif] [-baseline lint-baseline.json]
 //	       [-write-baseline lint-baseline.json] [-j N]
-//	       [-timing lint-timing.json] [patterns...]
+//	       [-timing lint-timing.json]
+//	       [-cache DIR] [-assert-all-cached] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's shape. Findings print
 // one per line as file:line:col: message [rule] (text), as a {"findings":
@@ -20,6 +21,14 @@
 // order is deterministic regardless of worker count. -timing writes a JSON
 // report of analysis wall time — per package, and per analyzer both within
 // each package and totaled across the run — for CI artifact upload.
+//
+// -cache DIR makes runs incremental: each package's findings are stored
+// under a content key hashing its source files, its in-module dependency
+// closure, the enabled rule set, and the toolchain version. A warm run
+// replays findings for unchanged packages without type-checking them (the
+// -timing report marks those packages "cached": true), and
+// -assert-all-cached turns any miss into a failure so CI can prove the warm
+// path really skipped everything.
 //
 // The baseline mechanism grandfathers pre-existing findings during a rule
 // rollout: -write-baseline records the current findings, -baseline filters
@@ -54,6 +63,8 @@ func run(args []string, stdout io.Writer) int {
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	workers := fs.Int("j", runtime.NumCPU(), "number of packages analyzed concurrently")
 	timingPath := fs.String("timing", "", "write per-package and per-analyzer timings (JSON) to this file")
+	cacheDir := fs.String("cache", "", "replay findings for unchanged packages from this directory (content-hash keyed)")
+	assertAllCached := fs.Bool("assert-all-cached", false, "with -cache, fail if any selected package is not already cached")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,13 +102,24 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := lint.Load(cwd, patterns)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
-		return 2
+	var findings []finding
+	var timings []lint.PkgTiming
+	if *cacheDir != "" {
+		findings, timings, err = runCached(*cacheDir, cwd, patterns, analyzers, *workers, *assertAllCached)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			return 2
+		}
+	} else {
+		pkgs, err := lint.Load(cwd, patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			return 2
+		}
+		var diags []lint.Diagnostic
+		diags, timings = lint.RunConcurrent(pkgs, analyzers, *workers)
+		findings = toFindings(diags, cwd)
 	}
-	diags, timings := lint.RunConcurrent(pkgs, analyzers, *workers)
-	findings := toFindings(diags, cwd)
 	if *timingPath != "" {
 		if err := saveTimings(*timingPath, timings); err != nil {
 			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)

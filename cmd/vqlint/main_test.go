@@ -266,3 +266,98 @@ func TestRunListAndBadFlags(t *testing.T) {
 		t.Errorf("bad -rules exit = %d, want 2", code)
 	}
 }
+
+// TestRunCacheIncremental drives the full -cache flow against a throwaway
+// module: a cold run populates the cache and reports the finding, a warm run
+// replays it byte-identically with every package marked cached (and passes
+// -assert-all-cached), an edit fails the assertion and re-analyzes only the
+// edited package.
+func TestRunCacheIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full analysis runs")
+	}
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"go.mod":     "module tmpmod\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc Eq(x, y float64) bool { return x == y }\n",
+		"ok/ok.go":   "package ok\n\nfunc Three() int { return 3 }\n",
+	} {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	cache := filepath.Join(dir, ".vqcache")
+	timing := filepath.Join(dir, "timing.json")
+
+	cachedFlags := func(doc []byte) (cached, fresh int) {
+		var td struct {
+			Packages []lint.PkgTiming `json:"packages"`
+		}
+		if err := json.Unmarshal(doc, &td); err != nil {
+			t.Fatalf("parsing timing doc: %v", err)
+		}
+		for _, p := range td.Packages {
+			if p.Cached {
+				cached++
+			} else {
+				fresh++
+			}
+		}
+		return cached, fresh
+	}
+
+	var cold bytes.Buffer
+	if code := run([]string{"-cache", cache, "-timing", timing, "./..."}, &cold); code != 1 {
+		t.Fatalf("cold run exit = %d, want 1 (the floatcmp finding)", code)
+	}
+	doc, err := os.ReadFile(timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached, fresh := cachedFlags(doc); cached != 0 || fresh != 2 {
+		t.Errorf("cold run: %d cached / %d fresh, want 0/2", cached, fresh)
+	}
+
+	var warm bytes.Buffer
+	if code := run([]string{"-cache", cache, "-assert-all-cached", "-timing", timing, "./..."}, &warm); code != 1 {
+		t.Fatalf("warm run exit = %d, want 1 (replayed finding)", code)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs from cold:\ncold: %q\nwarm: %q", cold.String(), warm.String())
+	}
+	doc, err = os.ReadFile(timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached, fresh := cachedFlags(doc); cached != 2 || fresh != 0 {
+		t.Errorf("warm run: %d cached / %d fresh, want 2/0", cached, fresh)
+	}
+
+	okFile := filepath.Join(dir, "ok", "ok.go")
+	if err := os.WriteFile(okFile, []byte("package ok\n\nfunc Three() int { return 1 + 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code := run([]string{"-cache", cache, "-assert-all-cached", "./..."}, &buf); code != 2 {
+		t.Errorf("-assert-all-cached after edit exit = %d, want 2", code)
+	}
+	buf.Reset()
+	if code := run([]string{"-cache", cache, "-timing", timing, "./..."}, &buf); code != 1 {
+		t.Fatalf("partial run exit = %d, want 1", code)
+	}
+	if buf.String() != cold.String() {
+		t.Errorf("partial output differs from cold:\ncold: %q\ngot: %q", cold.String(), buf.String())
+	}
+	doc, err = os.ReadFile(timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached, fresh := cachedFlags(doc); cached != 1 || fresh != 1 {
+		t.Errorf("partial run: %d cached / %d fresh, want 1/1", cached, fresh)
+	}
+}

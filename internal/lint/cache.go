@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheSchemaVersion invalidates every cache entry when the on-disk finding
+// format or the keying scheme changes shape.
+const cacheSchemaVersion = "vqlint-cache-v1"
+
+// CacheEntry names one package selected by a pattern set together with its
+// content key: a hash over the analyzer configuration, the toolchain, the
+// package's own source bytes, and — transitively — the keys of every
+// in-module package it imports. Equal keys guarantee equal findings, so a
+// warm CI run can replay stored findings instead of type-checking and
+// re-analyzing the package.
+type CacheEntry struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the import path.
+	Path string
+	// Key is the hex content hash.
+	Key string
+}
+
+// PlanCache expands patterns exactly as Load does and computes the content
+// key of each selected package. Salt folds the run configuration (enabled
+// rules, output schema) into every key.
+func PlanCache(dir string, patterns []string, salt string) ([]CacheEntry, error) {
+	modRoot, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	h := &cacheHasher{
+		modRoot: modRoot,
+		modPath: modPath,
+		salt:    salt,
+		keys:    make(map[string]string),
+		inProg:  make(map[string]bool),
+	}
+	var entries []CacheEntry
+	for _, d := range dirs {
+		names, err := goFileNames(d)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue
+		}
+		path, err := importPath(modRoot, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		key, err := h.keyOf(d)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, CacheEntry{Dir: d, Path: path, Key: key})
+	}
+	return entries, nil
+}
+
+type cacheHasher struct {
+	modRoot string
+	modPath string
+	salt    string
+	// keys memoizes finished directory hashes; inProg breaks import cycles
+	// (invalid Go, but the hasher must still terminate on bad input).
+	keys   map[string]string
+	inProg map[string]bool
+}
+
+// keyOf computes the recursive content key of the package in dir.
+func (h *cacheHasher) keyOf(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if k, ok := h.keys[abs]; ok {
+		return k, nil
+	}
+	if h.inProg[abs] {
+		return "", fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	h.inProg[abs] = true
+	defer delete(h.inProg, abs)
+
+	names, err := goFileNames(abs)
+	if err != nil {
+		return "", err
+	}
+	hash := sha256.New()
+	_, _ = io.WriteString(hash, cacheSchemaVersion+"\n")
+	_, _ = io.WriteString(hash, h.salt+"\n")
+	_, _ = io.WriteString(hash, runtime.Version()+"\n")
+	if p, err := importPath(h.modRoot, h.modPath, abs); err == nil {
+		_, _ = io.WriteString(hash, p+"\n")
+	}
+	depDirs := make(map[string]bool)
+	for _, name := range names {
+		full := filepath.Join(abs, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return "", err
+		}
+		_, _ = fmt.Fprintf(hash, "file %s %d\n", name, len(data))
+		_, _ = hash.Write(data)
+		for _, dep := range h.moduleImports(full) {
+			depDirs[dep] = true
+		}
+	}
+	// Fold in dependency keys in sorted order so the hash is stable.
+	deps := make([]string, 0, len(depDirs))
+	for d := range depDirs {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		dk, err := h.keyOf(d)
+		if err != nil {
+			return "", err
+		}
+		_, _ = fmt.Fprintf(hash, "dep %s %s\n", d, dk)
+	}
+	key := hex.EncodeToString(hash.Sum(nil))
+	h.keys[abs] = key
+	return key, nil
+}
+
+// moduleImports returns the directories of in-module packages the file
+// imports. Parse errors are ignored here — the analysis load will surface
+// them with a real diagnostic; an unparseable file simply contributes its
+// raw bytes to the hash.
+func (h *cacheHasher) moduleImports(file string) []string {
+	f, err := parser.ParseFile(token.NewFileSet(), file, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil
+	}
+	var dirs []string
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if p == h.modPath {
+			dirs = append(dirs, h.modRoot)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(p, h.modPath+"/"); ok {
+			dirs = append(dirs, filepath.Join(h.modRoot, filepath.FromSlash(rest)))
+		}
+	}
+	return dirs
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCacheModule lays out a two-package module where b imports a, so the
+// tests can observe keys propagating through the in-module import closure.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nimport \"tmpmod/a\"\n\nfunc B() int { return a.A() }\n",
+		"c/c.go": "package c\n\nfunc C() int { return 3 }\n",
+	}
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func planKeys(t *testing.T, dir, salt string) map[string]string {
+	t.Helper()
+	entries, err := PlanCache(dir, []string{"./..."}, salt)
+	if err != nil {
+		t.Fatalf("PlanCache: %v", err)
+	}
+	keys := make(map[string]string, len(entries))
+	for _, e := range entries {
+		keys[e.Path] = e.Key
+	}
+	return keys
+}
+
+// TestPlanCacheKeys pins the contract of the content keys: stable across
+// runs, content-addressed (restoring bytes restores the key), propagated
+// through in-module imports, independent across unrelated packages, and
+// salted by the run configuration.
+func TestPlanCacheKeys(t *testing.T) {
+	dir := writeCacheModule(t)
+	base := planKeys(t, dir, "s1")
+	for _, path := range []string{"tmpmod/a", "tmpmod/b", "tmpmod/c"} {
+		if base[path] == "" {
+			t.Fatalf("no key planned for %s (got %v)", path, base)
+		}
+	}
+	if again := planKeys(t, dir, "s1"); again["tmpmod/a"] != base["tmpmod/a"] || again["tmpmod/b"] != base["tmpmod/b"] {
+		t.Fatalf("keys not stable across plans: %v vs %v", again, base)
+	}
+
+	// Editing a must re-key a and its importer b, but not the unrelated c.
+	aFile := filepath.Join(dir, "a", "a.go")
+	orig, err := os.ReadFile(aFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aFile, append(orig, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := planKeys(t, dir, "s1")
+	if edited["tmpmod/a"] == base["tmpmod/a"] {
+		t.Error("editing a/a.go did not change a's key")
+	}
+	if edited["tmpmod/b"] == base["tmpmod/b"] {
+		t.Error("editing a/a.go did not propagate to importer b")
+	}
+	if edited["tmpmod/c"] != base["tmpmod/c"] {
+		t.Error("editing a/a.go changed unrelated c's key")
+	}
+
+	// Content-addressed, not mtime-addressed: restoring the bytes restores
+	// every key.
+	if err := os.WriteFile(aFile, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored := planKeys(t, dir, "s1")
+	for path, k := range base {
+		if restored[path] != k {
+			t.Errorf("restoring a/a.go did not restore %s's key", path)
+		}
+	}
+
+	// A different salt (rule set, schema) must re-key everything.
+	salted := planKeys(t, dir, "s2")
+	for path, k := range base {
+		if salted[path] == k {
+			t.Errorf("salt change did not re-key %s", path)
+		}
+	}
+}

@@ -93,17 +93,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // All returns the registered analyzers in a stable order. The CFG analyzers
-// (lockbalance, poolrelease, errflow, ratioguard) are the path-sensitive
-// tier; lockbalance subsumes the v1 syntactic lockheld rule. The concurrency
-// analyzers (goleak, chandiscipline, wgbalance) sit on the interprocedural
-// tier and consume the per-function summaries in Pass.Sums.
+// (detorder, lockbalance, poolrelease, poollifetime, errflow, ratioguard)
+// are the path-sensitive tier; lockbalance subsumes the v1 syntactic
+// lockheld rule and detorder the v1 maporder rule. The concurrency and
+// determinism analyzers (goleak, chandiscipline, wgbalance, wallclock) sit
+// on the interprocedural tier and consume the per-function summaries in
+// Pass.Sums.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
-		MapOrder,
+		DetOrder,
 		MutexCopy,
 		LockBalance,
 		PoolRelease,
+		PoolLifetime,
 		ErrFlow,
 		RatioGuard,
 		CtxCheck,
@@ -111,6 +114,7 @@ func All() []*Analyzer {
 		GoLeak,
 		ChanDiscipline,
 		WgBalance,
+		WallClock,
 	}
 }
 
@@ -132,6 +136,9 @@ type PkgTiming struct {
 	Path    string                   `json:"path"`
 	Elapsed time.Duration            `json:"elapsedNs"`
 	Rules   map[string]time.Duration `json:"ruleNs,omitempty"`
+	// Cached marks a package whose findings were replayed from the content
+	// cache (-cache) without re-analysis; Elapsed and Rules are then zero.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // runPackage analyzes one package: it builds the suppression table and the

@@ -123,10 +123,10 @@ func sentinel(v float64) bool {
 			want: nil,
 		},
 
-		// ---- maporder ----
+		// ---- detorder ----
 		{
-			name:     "maporder positive append",
-			analyzer: MapOrder,
+			name:     "detorder positive append",
+			analyzer: DetOrder,
 			src: `package fixture
 func keys(m map[string]int) []string {
 	var out []string
@@ -136,11 +136,11 @@ func keys(m map[string]int) []string {
 	return out
 }
 `,
-			want: []string{"maporder"},
+			want: []string{"detorder"},
 		},
 		{
-			name:     "maporder positive float accumulation",
-			analyzer: MapOrder,
+			name:     "detorder positive float accumulation",
+			analyzer: DetOrder,
 			src: `package fixture
 func sum(m map[string]float64) float64 {
 	var s float64
@@ -150,11 +150,11 @@ func sum(m map[string]float64) float64 {
 	return s
 }
 `,
-			want: []string{"maporder"},
+			want: []string{"detorder"},
 		},
 		{
-			name:     "maporder positive output",
-			analyzer: MapOrder,
+			name:     "detorder positive output",
+			analyzer: DetOrder,
 			src: `package fixture
 import "fmt"
 func dump(m map[string]int) {
@@ -163,11 +163,11 @@ func dump(m map[string]int) {
 	}
 }
 `,
-			want: []string{"maporder"},
+			want: []string{"detorder"},
 		},
 		{
-			name:     "maporder negative sorted after",
-			analyzer: MapOrder,
+			name:     "detorder negative sorted after",
+			analyzer: DetOrder,
 			src: `package fixture
 import "sort"
 func keys(m map[string]int) []string {
@@ -189,13 +189,31 @@ func countOnly(m map[string]float64) int {
 			want: nil,
 		},
 		{
-			name:     "maporder suppressed",
-			analyzer: MapOrder,
+			name:     "detorder positive sort on one branch only",
+			analyzer: DetOrder,
+			src: `package fixture
+import "sort"
+func keys(m map[string]int, ordered bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+`,
+			want: []string{"detorder"},
+		},
+		{
+			name:     "detorder suppressed",
+			analyzer: DetOrder,
 			src: `package fixture
 func keys(m map[string]int) []string {
 	var out []string
 	for k := range m {
-		//vqlint:ignore maporder order is irrelevant to the caller
+		//vqlint:ignore detorder order is irrelevant to the caller
 		out = append(out, k)
 	}
 	return out
@@ -1086,6 +1104,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 type guarded struct {
 	mu sync.Mutex
@@ -1151,8 +1170,18 @@ func wgAbuse() {
 	wg.Add(1)
 	wg.Wait()
 }
+func useAfterRelease() int {
+	r := Acquire()
+	r.Release()
+	return r.n
+}
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
 `
-	got := analyzeSrc(t, src, All()...)
+	// The corpus/ package path puts the fixture inside wallclock's
+	// deterministic cone.
+	got := analyzeSrcPath(t, "corpus/wallclock_broken", src, All()...)
 	fired := make(map[string]bool)
 	for _, d := range got {
 		fired[d.Rule] = true

@@ -20,6 +20,7 @@ const (
 	kMu                     // mutex write-side delta
 	kMuR                    // RWMutex read-side delta
 	kWg                     // WaitGroup Add-Done delta
+	kSort                   // slice handed to a sort call (bool)
 )
 
 // effKey is one tracked fact: a kind on a param-derived ref.
@@ -112,7 +113,7 @@ func effJoin(dst, src effState) effState {
 	for k, dv := range dst.vals {
 		sv, inSrc := src.vals[k]
 		switch k.kind {
-		case kRelease, kClose:
+		case kRelease, kClose, kSort:
 			if !inSrc {
 				delete(dst.vals, k)
 			}
@@ -128,7 +129,7 @@ func effJoin(dst, src effState) effState {
 			continue
 		}
 		switch k.kind {
-		case kRelease, kClose:
+		case kRelease, kClose, kSort:
 			// Absent in dst: not established on that path — stays absent.
 		default:
 			if sv != 0 && !dst.poison[k] {
@@ -329,12 +330,13 @@ func (set *Set) computeOne(n *callgraph.Node, inSCC map[*types.Func]bool, optimi
 	res := flow.Solve(g, prob)
 
 	sum := &Summary{
-		Releases:    make(map[Ref]bool),
-		Closes:      make(map[Ref]bool),
-		MutexDelta:  make(map[MutexRef]int),
-		WgDelta:     make(map[Ref]int),
-		poisoned:    make(map[effKey]bool),
-		paramPoison: make(map[int]bool),
+		Releases:         make(map[Ref]bool),
+		Closes:           make(map[Ref]bool),
+		MutexDelta:       make(map[MutexRef]int),
+		WgDelta:          make(map[Ref]int),
+		EstablishesOrder: make(map[Ref]bool),
+		poisoned:         make(map[effKey]bool),
+		paramPoison:      make(map[int]bool),
 	}
 
 	// The fixed-point state entering Exit is the join over every normal
@@ -352,6 +354,8 @@ func (set *Set) computeOne(n *callgraph.Node, inSCC map[*types.Func]bool, optimi
 				sum.MutexDelta[MutexRef{Ref: k.ref, Read: true}] = int(v)
 			case kWg:
 				sum.WgDelta[k.ref] = int(v)
+			case kSort:
+				sum.EstablishesOrder[k.ref] = true
 			}
 		}
 		for k := range exit.poison {
@@ -368,6 +372,7 @@ func (set *Set) computeOne(n *callgraph.Node, inSCC map[*types.Func]bool, optimi
 	set.computeTermination(fc, g, sum)
 	set.computeError(fc, sum)
 	set.computeMayFacts(fc, sum)
+	set.computeOrderFacts(fc, sum)
 	return sum
 }
 
@@ -506,6 +511,11 @@ func (fc *funcCtx) applyCall(call *ast.CallExpr, s effState) {
 		}
 		return
 	}
+	// sort.X / slices.X establishing order on a param-derived slice.
+	if ref, ok := fc.sortTarget(call); ok {
+		s.set(effKey{kind: kSort, ref: ref}, 1)
+		return
+	}
 	// Release/Put, mirroring poolrelease's site patterns.
 	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
@@ -580,6 +590,11 @@ func (fc *funcCtx) mapCalleeEffects(call *ast.CallExpr, sum *Summary, s effState
 				s.add(effKey{kind: kind, ref: cr}, int8(d))
 			}
 		}
+		for r := range sum.EstablishesOrder {
+			if cr, ok := joinRef(r); ok {
+				s.set(effKey{kind: kSort, ref: cr}, 1)
+			}
+		}
 	}
 	for r, d := range sum.WgDelta {
 		if goCredit && d >= 0 {
@@ -623,6 +638,7 @@ func (fc *funcCtx) applyUniversal(call *ast.CallExpr, s effState) {
 		if ref, ok := fc.refOf(e); ok {
 			s.set(effKey{kind: kRelease, ref: ref}, 1)
 			s.set(effKey{kind: kClose, ref: ref}, 1)
+			s.set(effKey{kind: kSort, ref: ref}, 1)
 			s.poisonKey(effKey{kind: kMu, ref: ref})
 			s.poisonKey(effKey{kind: kMuR, ref: ref})
 			s.poisonKey(effKey{kind: kWg, ref: ref})
@@ -668,7 +684,7 @@ func (fc *funcCtx) poisonRefKeys(s effState, ref Ref) {
 		s.poisonParam(ref.Param)
 		return
 	}
-	for _, kind := range []effKind{kRelease, kClose, kMu, kMuR, kWg} {
+	for _, kind := range []effKind{kRelease, kClose, kMu, kMuR, kWg, kSort} {
 		s.poisonKey(effKey{kind: kind, ref: ref})
 		for k := range s.vals {
 			if k.ref.Param == ref.Param && len(k.ref.Path) > len(ref.Path) &&

@@ -88,6 +88,18 @@ type Summary struct {
 	// MayBlock: may block on a channel operation or WaitGroup.Wait
 	// (directly or via a synchronous callee). May-fact.
 	MayBlock bool
+	// OrderSensitive: each call may emit order-sensitive output — a write to
+	// an io.Writer or hash (Write*), fmt printing, a report-builder row, or a
+	// floating-point accumulation into state that outlives the call
+	// (receiver, parameter, package-level variable) — directly or via a
+	// synchronous in-package callee. Calling such a function from inside a
+	// map-range loop makes the iteration order observable. May-fact.
+	OrderSensitive bool
+	// EstablishesOrder: the ref (a slice reachable from a param/receiver) is
+	// handed to a sort.*/slices.Sort* call on every normal return, so the
+	// caller may rely on the value being sorted afterwards. Must-fact; the
+	// detorder analyzer uses it to see helper-performed sorts.
+	EstablishesOrder map[Ref]bool
 
 	// poisoned/paramPoison record refs whose numeric facts disagreed across
 	// paths or escaped to an unknown callee; they propagate caller-ward
@@ -195,9 +207,16 @@ func sccMembers(scc []*callgraph.Node) map[*types.Func]bool {
 func summariesEqual(a, b *Summary) bool {
 	if len(a.Releases) != len(b.Releases) || len(a.Closes) != len(b.Closes) ||
 		len(a.MutexDelta) != len(b.MutexDelta) || len(a.WgDelta) != len(b.WgDelta) ||
+		len(a.EstablishesOrder) != len(b.EstablishesOrder) ||
 		a.Error != b.Error || a.NeverTerminates != b.NeverTerminates ||
-		a.StuckNoComm != b.StuckNoComm || a.Spawns != b.Spawns || a.MayBlock != b.MayBlock {
+		a.StuckNoComm != b.StuckNoComm || a.Spawns != b.Spawns || a.MayBlock != b.MayBlock ||
+		a.OrderSensitive != b.OrderSensitive {
 		return false
+	}
+	for k := range a.EstablishesOrder {
+		if !b.EstablishesOrder[k] {
+			return false
+		}
 	}
 	for k := range a.Releases {
 		if !b.Releases[k] {

@@ -1,0 +1,117 @@
+// Golden fixture for the detorder analyzer: map-order taint must reach an
+// order-sensitive sink (or escape) without a dominating sort to fire.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// True positive: the keys escape in map order.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "out accumulates map keys in map order and is never sorted afterwards"
+	}
+	return out
+}
+
+// Negative: sorted before any use — the classic safe idiom.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortFor(xs []string) {
+	sort.Strings(xs)
+}
+
+// Negative: the sort happens inside a helper; the EstablishesOrder summary
+// carries the fact to this caller.
+func helperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortFor(out)
+	return out
+}
+
+// True positive: a sort on one branch protects only that branch.
+func branchSorted(m map[string]int, ordered bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "out accumulates map keys in map order and is never sorted afterwards"
+	}
+	if ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// Negative: an empty or single-element slice has no observable order, so
+// the len guard before the early return is clean.
+func guardedEmpty(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if len(out) <= 1 {
+		return out
+	}
+	sort.Strings(out)
+	return out
+}
+
+// True positive through an alias: the copy carries the taint to the sink.
+func aliased(m map[string]int) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	view := out
+	fmt.Println(view) // want "out accumulates map keys in map order and is emitted without an intervening sort"
+	sort.Strings(out)
+}
+
+// True positive: float accumulation into an outer variable.
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "floating-point accumulation in map order"
+	}
+	return s
+}
+
+// True positive: direct emission inside the range.
+func dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "output emitted while ranging over a map"
+	}
+}
+
+func emitRow(k string) {
+	fmt.Println(k)
+}
+
+// True positive: the helper's OrderSensitive summary makes the call a sink.
+func dumpViaHelper(m map[string]int) {
+	for k := range m {
+		emitRow(k) // want "emitRow emits order-sensitive output, called while ranging over a map"
+	}
+}
+
+// Negative: loop-local state is order-independent by construction.
+func localOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		local := []int{1}
+		local = append(local, 2)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+// Golden fixture for the poollifetime analyzer: use-after-Release and
+// double-Release over rendering-keyed lifetimes.
+package fixture
+
+import "sync"
+
+type scratch struct{ n int }
+
+func (s *scratch) Release() {}
+
+func (s *scratch) Merge(o *scratch) { s.n += o.n }
+
+func NewScratch() *scratch { return &scratch{} }
+
+var scratchPool sync.Pool
+
+// True positive: released twice.
+func doubleRelease() {
+	s := NewScratch()
+	s.Release()
+	s.Release() // want "s released twice: already released at line 20"
+}
+
+// True positive: read after release.
+func useAfter() int {
+	s := NewScratch()
+	s.Release()
+	return s.n // want "use of s after its release at line 27"
+}
+
+// True positive: the alias still names the released value.
+func useAfterViaAlias() int {
+	s := NewScratch()
+	s.Release()
+	v := s
+	return v.n // want "use of s after its release at line 34"
+}
+
+// Negative: rebinding starts a new lifetime.
+func rebound() int {
+	s := NewScratch()
+	s.Release()
+	s = NewScratch()
+	n := s.n
+	s.Release()
+	return n
+}
+
+// Negative: a nil comparison is the guard idiom, not a use.
+func nilGuarded(s *scratch) bool {
+	s.Release()
+	return s == nil
+}
+
+// True positive: merge pipelines must merge before releasing the source.
+func mergeAfterRelease(dst, src *scratch) {
+	src.Release()
+	dst.Merge(src) // want "use of src after its release at line 57"
+}
+
+// Negative: the correct order — merge, then release, then rebind.
+func mergeThenRelease(shards []*scratch, dst, src int) {
+	shards[dst].Merge(shards[src])
+	shards[src].Release()
+	shards[src] = nil
+}
+
+// True positive: element lifetimes are tracked by rendering, so the
+// indexed use after the indexed release fires.
+func elementUseAfter(shards []*scratch, src int) int {
+	shards[src].Release()
+	return shards[src].n // want "use of shards\[src\] after its release at line 71"
+}
+
+// Negative: reassigning the index variable retargets the rendering.
+func indexRetargeted(shards []*scratch, src int) int {
+	shards[src].Release()
+	src++
+	return shards[src].n
+}
+
+func releaseHelper(s *scratch) {
+	s.Release()
+}
+
+// True positive: the release happens inside a helper; the Releases summary
+// carries the fact back to this caller.
+func useAfterHelper() int {
+	s := NewScratch()
+	releaseHelper(s)
+	return s.n // want "use of s after its release at line 90"
+}
+
+// True positive: a value released on one path must not be used after the
+// join.
+func branchReleased(cond bool) int {
+	s := NewScratch()
+	if cond {
+		s.Release()
+	}
+	return s.n // want "use of s after its release at line 99"
+}
+
+// True positive: sending a released value over a channel hands another
+// goroutine a pooled object the pool may already have reissued.
+func selectOnReleased(ch chan *scratch) {
+	s := NewScratch()
+	s.Release()
+	select {
+	case ch <- s: // want "use of s after its release at line 108"
+	default:
+	}
+}
+
+// True positive: an explicit release duplicated by the deferred one.
+func deferThenExplicit() {
+	s := NewScratch()
+	defer s.Release()
+	s.n++
+	s.Release() // want "s is released here and again by the deferred release at line 118"
+}
+
+// True positive: two deferred releases both run at return.
+func doubleDefer() {
+	s := NewScratch()
+	defer s.Release()
+	defer s.Release() // want "s has two deferred releases \(first at line 126\)"
+}
+
+// Negative: the plain defer idiom.
+func deferOnly() int {
+	s := NewScratch()
+	defer s.Release()
+	return s.n
+}
+
+// True positive: sync.Pool Put is a release; using the value afterwards
+// races with the next Get.
+func putThenUse() int {
+	b := scratchPool.Get().(*scratch)
+	scratchPool.Put(b)
+	return b.n // want "use of b after its release at line 141"
+}
+
+// Negative: each loop iteration rebinds the range value.
+func releaseAll(all []*scratch) {
+	for _, s := range all {
+		s.Release()
+	}
+}

@@ -1,0 +1,58 @@
+// Golden fixture for the wallclock analyzer. The corpus package path
+// (corpus/wallclock_basic) is a member of the deterministic cone, with
+// backoffAllowed on the allowlist.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// True positive: a direct wall-clock read in cone code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "call to time.Now in the deterministic analysis cone"
+}
+
+// True positive: timer channels observe the wall clock too.
+func timeout() <-chan time.Time {
+	return time.After(time.Second) // want "call to time.After in the deterministic analysis cone"
+}
+
+// True positive: the global rand source is seeded from the clock.
+func jitter() int {
+	return rand.Intn(10) // want "global rand.Intn in the deterministic analysis cone"
+}
+
+// Negative: an explicitly seeded generator is deterministic.
+func seeded() int {
+	return rand.New(rand.NewSource(42)).Intn(10)
+}
+
+// Negative: duration arithmetic never reads the clock.
+func window(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Allowlisted: reconnect backoff is wall-clock-bound by design — no
+// finding on its own body.
+func backoffAllowed() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+// True positive: calling the allowlisted function from non-allowlisted
+// code pulls the clock back into the cone; the allowlist excuses the
+// function, not its callers.
+func caller() {
+	backoffAllowed() // want "call to backoffAllowed, which reads the wall clock"
+}
+
+// Not re-reported: stamp is tainted but not allowlisted, so the finding
+// already exists at stamp's own read site — a second report here would be
+// noise.
+func indirect() int64 {
+	return stamp()
+}
+
+// True positive: package-level initializers run before any config can
+// thread a clock through.
+var started = time.Now() // want "call to time.Now in a package-level initializer"

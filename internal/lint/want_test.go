@@ -29,6 +29,11 @@ var wantCorpusAnalyzers = map[string][]*Analyzer{
 	"goleak_basic.go":         {GoLeak},
 	"chandiscipline_basic.go": {ChanDiscipline},
 	"wgbalance_basic.go":      {WgBalance},
+
+	// Determinism and pooled-lifetime analyzers.
+	"detorder_basic.go":     {DetOrder},
+	"poollifetime_basic.go": {PoolLifetime},
+	"wallclock_basic.go":    {WallClock},
 }
 
 // TestWantCorpus runs the golden fixtures: every line carrying a

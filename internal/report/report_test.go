@@ -76,7 +76,7 @@ func TestFigureRender(t *testing.T) {
 
 // TestTableRenderDeterministic is the golden determinism check: a table
 // whose rows come from a map (emitted in sorted key order, the repository
-// convention enforced by vqlint's maporder rule) must render byte-for-byte
+// convention enforced by vqlint's detorder rule) must render byte-for-byte
 // identically on every pass. Two independent builds from the same map are
 // rendered twice each and all four outputs compared.
 func TestTableRenderDeterministic(t *testing.T) {

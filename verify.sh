@@ -4,12 +4,13 @@
 #   1. go build      — everything compiles
 #   2. go vet        — the toolchain's own static checks
 #   3. vqlint        — the repo-specific analyzers: syntactic rules (float
-#                      equality, map-order determinism, lock copying,
-#                      goroutine shutdown, dropped errors) plus the
-#                      path-sensitive CFG/dataflow rules (lockbalance,
-#                      poolrelease, errflow, ratioguard, goleak,
-#                      chandiscipline, wgbalance), made interprocedural by
-#                      per-function summaries; non-zero exit on any finding
+#                      equality, lock copying, goroutine shutdown, dropped
+#                      errors) plus the path-sensitive CFG/dataflow rules
+#                      (lockbalance, poolrelease, errflow, ratioguard,
+#                      goleak, chandiscipline, wgbalance, and the
+#                      determinism/lifetime trio detorder, poollifetime,
+#                      wallclock), made interprocedural by per-function
+#                      summaries; non-zero exit on any finding
 #   4. go test -race — the full suite under the race detector
 set -eux
 
