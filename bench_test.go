@@ -26,6 +26,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/whatif"
+	"repro/internal/window"
 )
 
 // benchConfig sizes the shared benchmark dataset: the paper's full two-week
@@ -565,4 +566,125 @@ func BenchmarkExtension_OnlineDetector(b *testing.B) {
 		alerts = d.Alerts
 	}
 	b.ReportMetric(float64(alerts)/24, "alerts/epoch")
+}
+
+// --- Sliding-window engine (sub-epoch streaming detection) -------------------
+
+// windowBenchSetup pre-fills a one-hour window at the target hourly volume
+// and returns the engine plus a function yielding tick i's session digests
+// (the hour's sessions split evenly across the 60 one-minute sub-buckets).
+func windowBenchSetup(b *testing.B, sessionsPerHour int) (*window.Engine, func(i int) []cluster.Lite) {
+	b.Helper()
+	lites := litesForParallelBench(b, sessionsPerHour)
+	cfg := window.DefaultConfig()
+	per := len(lites) / cfg.TicksPerEpoch
+	tickLites := func(i int) []cluster.Lite {
+		lo := (i % cfg.TicksPerEpoch) * per
+		return lites[lo : lo+per]
+	}
+	eng, err := window.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(0); err != nil {
+		b.Fatal(err)
+	}
+	for tk := 0; tk < cfg.Ticks; tk++ {
+		for _, l := range tickLites(tk) {
+			if err := eng.Observe(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.Advance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, tickLites
+}
+
+// BenchmarkWindowAdvance measures the incremental cost of sliding a full
+// 60-minute window forward by one minute at 100k sessions/hour: digest the
+// entering minute into its sub-bucket, merge it into the window total,
+// unmerge the minute that expired. This is the O(delta) maintenance the
+// streaming detector pays per tick; compare BenchmarkWindowRecompute, the
+// O(window) rebuild a non-incremental per-minute evaluation would pay.
+func BenchmarkWindowAdvance(b *testing.B) {
+	const sessionsPerHour = 100_000
+	eng, tickLites := windowBenchSetup(b, sessionsPerHour)
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range tickLites(i) {
+			if err := eng.Observe(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.Advance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sessionsPerHour/60), "sessions/tick")
+}
+
+// BenchmarkWindowAdvanceDetect is one full streaming-detector tick: the
+// incremental advance plus critical-cluster analysis of the window snapshot.
+func BenchmarkWindowAdvanceDetect(b *testing.B) {
+	const sessionsPerHour = 100_000
+	eng, tickLites := windowBenchSetup(b, sessionsPerHour)
+	defer eng.Close()
+	_, coreCfg := benchConfig()
+	coreCfg.Thresholds = coreCfg.Thresholds.ScaleMinSessions(sessionsPerHour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range tickLites(i) {
+			if err := eng.Observe(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.Advance(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := eng.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.AnalyzeEpochTable(snap, coreCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowRecompute is the baseline the incremental engine replaces:
+// rebuilding the full 60-minute count table from scratch, which a naive
+// per-minute re-evaluation would do every tick.
+func BenchmarkWindowRecompute(b *testing.B) {
+	const sessionsPerHour = 100_000
+	lites := litesForParallelBench(b, sessionsPerHour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := cluster.NewTable(0, lites, 0)
+		if tbl.Len() == 0 {
+			b.Fatal("empty table")
+		}
+		tbl.Release()
+	}
+}
+
+// BenchmarkWindowRecomputeDetect is the full non-incremental per-minute
+// evaluation: table rebuild plus critical-cluster analysis.
+func BenchmarkWindowRecomputeDetect(b *testing.B) {
+	const sessionsPerHour = 100_000
+	lites := litesForParallelBench(b, sessionsPerHour)
+	_, coreCfg := benchConfig()
+	coreCfg.Thresholds = coreCfg.Thresholds.ScaleMinSessions(sessionsPerHour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeEpoch(0, lites, coreCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -9,6 +9,8 @@
 //	vqmonitor -trace trace.vqt.gz                 # monitor a stored trace
 //	vqmonitor -epochs 48 -sessions 3000 -seed 2   # monitor a live synthetic stream
 //	vqmonitor ... -actionable                     # only persistence alerts
+//	vqmonitor -window 60m -tick 1m ...            # sub-epoch streaming detection
+//	vqmonitor -latency-report                     # canned detection-latency scenarios (JSON)
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/core"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 func main() {
@@ -38,8 +42,30 @@ func main() {
 		metricName = flag.String("metric", "", "restrict alerts to one metric")
 		workers    = flag.Int("workers", 0, "analysis shards per epoch (0 = GOMAXPROCS)")
 		pipeDepth  = flag.Int("pipeline-depth", 0, "overlap epoch analysis with ingestion, buffering this many completed epochs (0 = synchronous)")
+		windowSpan = flag.Duration("window", 0, "sliding-window span for sub-epoch streaming detection (must equal the 1h epoch; 0 = epoch-boundary batch mode)")
+		tickSpan   = flag.Duration("tick", time.Minute, "sub-bucket width for -window; the window clock advances on session order, never wall time")
+		latReport  = flag.Bool("latency-report", false, "run the canned detection-latency scenarios and print JSON")
 	)
 	flag.Parse()
+
+	if *latReport {
+		if err := runLatencyReport(os.Stdout, 2500); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var wcfg window.Config
+	streaming := *windowSpan > 0
+	if streaming {
+		var err error
+		if wcfg, err = windowGeometry(*windowSpan, *tickSpan); err != nil {
+			log.Fatal(err)
+		}
+		if *pipeDepth > 0 {
+			log.Fatal("-pipeline-depth cannot combine with -window (the window engine is already incremental)")
+		}
+	}
 
 	var space *attr.Space
 	emit := func(a online.Alert) {
@@ -80,8 +106,38 @@ func main() {
 			log.Fatal(err)
 		}
 		perEpoch = 4000
-		feed = func(d *online.Detector) error {
-			return r.ForEach(func(s *session.Session) error { return d.Add(s) })
+		if streaming {
+			// The codec streams sessions in epoch order; buffer one epoch at
+			// a time and replay it bucket-sorted by derived sub-epoch tick.
+			feed = func(d *online.Detector) error {
+				var buf []session.Session
+				cur := epoch.Index(-1)
+				flush := func() error {
+					if len(buf) == 0 {
+						return nil
+					}
+					err := feedEpochTicks(d, cur, buf, wcfg)
+					buf = buf[:0]
+					return err
+				}
+				if err := r.ForEach(func(s *session.Session) error {
+					if s.Epoch != cur {
+						if err := flush(); err != nil {
+							return err
+						}
+						cur = s.Epoch
+					}
+					buf = append(buf, *s)
+					return nil
+				}); err != nil {
+					return err
+				}
+				return flush()
+			}
+		} else {
+			feed = func(d *online.Detector) error {
+				return r.ForEach(func(s *session.Session) error { return d.Add(s) })
+			}
 		}
 	} else {
 		cfg := synth.DefaultConfig()
@@ -94,7 +150,18 @@ func main() {
 			log.Fatal(err)
 		}
 		space = g.World().Space()
-		feed = func(d *online.Detector) error { return g.ForEach(d.Add) }
+		if streaming {
+			feed = func(d *online.Detector) error {
+				for e := cfg.Trace.Start; e < cfg.Trace.End; e++ {
+					if err := feedEpochTicks(d, e, g.EpochSessions(e), wcfg); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		} else {
+			feed = func(d *online.Detector) error { return g.ForEach(d.Add) }
+		}
 	}
 
 	cfg := core.DefaultConfig(perEpoch)
@@ -106,6 +173,31 @@ func main() {
 	if *pipeDepth > 0 {
 		d.Pipeline(*pipeDepth)
 	}
+	if streaming {
+		tickEmit := func(a online.TickAlert) {
+			if *actionable {
+				return // persistence is an epoch-level judgement
+			}
+			if *metricName != "" && a.Metric.String() != *metricName {
+				return
+			}
+			name := a.Key.String()
+			if space != nil {
+				name = space.FormatKey(a.Key)
+			}
+			switch a.Kind {
+			case online.AlertResolved:
+				fmt.Printf("tick %5d  %-10s %-12s %s (lasted %d ticks)\n",
+					a.Tick, a.Kind, a.Metric, name, a.StreakTicks)
+			default:
+				fmt.Printf("tick %5d  %-10s %-12s %s (ratio %.2f over %d sessions, streak %d ticks)\n",
+					a.Tick, a.Kind, a.Metric, name, a.Ratio, a.Sessions, a.StreakTicks)
+			}
+		}
+		if err := d.Streaming(online.StreamConfig{Window: wcfg, TickEmit: tickEmit}); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := feed(d); err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +205,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "vqmonitor: %d epochs, %d alerts\n", d.Epochs, d.Alerts)
+	if streaming {
+		fmt.Fprintf(os.Stderr, "vqmonitor: %d ticks, %d tick alerts\n", d.Ticks, d.TickAlerts)
+	}
 	if *pipeDepth > 0 {
 		st := d.PipelineStats()
 		fmt.Fprintf(os.Stderr, "vqmonitor: pipeline %d submit stalls (analysis-bound), %d input waits (ingest-bound)\n",

@@ -63,6 +63,22 @@ func (c *Counts) Merge(o Counts) {
 	}
 }
 
+// Sub removes another cell's tallies from c — the exact inverse of Merge.
+// The sliding-window engine uses it to retire an expired sub-bucket: the
+// counts are integer differences, so subtracting a previously merged cell
+// restores the pre-merge tallies bit for bit.
+func (c *Counts) Sub(o Counts) {
+	c.Total -= o.Total
+	c.Failed -= o.Failed
+	for m := 0; m < metric.NumMetrics; m++ {
+		c.Problems[m] -= o.Problems[m]
+	}
+}
+
+// IsZero reports whether every tally is zero — the condition under which a
+// windowed cell holds no live sessions and its slot can be reclaimed.
+func (c Counts) IsZero() bool { return c == Counts{} }
+
 // Sessions returns the number of sessions for which metric m is defined.
 func (c Counts) Sessions(m metric.Metric) int32 {
 	if m == metric.JoinFailure {

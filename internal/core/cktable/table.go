@@ -177,6 +177,86 @@ func (t *Table) Merge(src *Table) {
 	}
 }
 
+// Unmerge subtracts every cell of src from t, cell-wise — the exact inverse
+// of a prior Merge(src). Like Merge it is a linear walk over src's slots
+// probing t by the stored hash, so no key is re-hashed and no subset
+// enumeration reruns. A cell whose counts reach zero is deleted and its
+// slot reclaimed immediately by backward-shift compaction (no tombstones),
+// so a long-running sliding window that merges and unmerges sub-bucket
+// tables forever stays at the load factor of its live key set instead of
+// accreting dead slots. Subtracting a key t does not hold, or driving any
+// session tally negative, panics: the window contract is exact — src must
+// be (cell-wise) contained in t.
+func (t *Table) Unmerge(src *Table) {
+	for i := range src.slots {
+		s := &src.slots[i]
+		if s.hash == 0 {
+			continue
+		}
+		t.unmerge(s.hash, s.key, s.counts)
+	}
+}
+
+func (t *Table) unmerge(h uint64, k attr.Key, c Counts) {
+	if len(t.slots) == 0 {
+		panic("cktable: Unmerge from an empty table")
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			panic("cktable: Unmerge of a key not present in the table")
+		}
+		if s.hash == h && s.key == k {
+			s.counts.Sub(c)
+			if s.counts.Total < 0 {
+				panic("cktable: Unmerge drove a session count negative")
+			}
+			if s.counts.IsZero() {
+				t.deleteSlot(i)
+			}
+			return
+		}
+	}
+}
+
+// deleteSlot removes the entry at slot i with backward-shift compaction:
+// subsequent probe-chain entries whose home position lies at or before the
+// vacated slot shift back into it, preserving the linear-probing invariant
+// (every key is reachable from its home slot with no gaps) without
+// tombstones. The resulting layout can differ from a fresh build of the
+// same key set — consumers already tolerate that, since Merge-built tables
+// differ from AddSession-built ones the same way; nothing downstream reads
+// slot order into results.
+func (t *Table) deleteSlot(i uint64) {
+	mask := uint64(len(t.slots) - 1)
+	t.used--
+	j := i
+	for {
+		t.slots[i] = slot{}
+		for {
+			j = (j + 1) & mask
+			s := &t.slots[j]
+			if s.hash == 0 {
+				return
+			}
+			home := s.hash & mask
+			// Entry j may move into the hole at i only if its home slot is
+			// not cyclically within (i, j] — otherwise the move would place
+			// it before its home and break its probe chain.
+			if i <= j {
+				if home <= i || home > j {
+					break
+				}
+			} else if home <= i && home > j {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}
+
 // reserve grows the table, in a single rehash, until it can hold n keys
 // without exceeding the load ceiling.
 func (t *Table) reserve(n int) {

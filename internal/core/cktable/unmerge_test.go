@@ -1,0 +1,246 @@
+package cktable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/metric"
+)
+
+// fillRandom adds n random sessions to tbl and the reference map.
+func fillRandom(tbl *Table, ref map[attr.Key]Counts, rng *rand.Rand, n, maxDims, valRange int) {
+	for i := 0; i < n; i++ {
+		var v attr.Vector
+		for d := range v {
+			v[d] = int32(rng.Intn(valRange))
+		}
+		flags := uint8(rng.Intn(16))
+		failed := flags&(1<<metric.JoinFailure) != 0
+		tbl.AddSession(v, flags, failed)
+		if ref != nil {
+			refAdd(ref, v, flags, failed, maxDims)
+		}
+	}
+}
+
+// assertTableEquals checks tbl holds exactly the reference mapping: same
+// cardinality, same counts per key, both lookup directions.
+func assertTableEquals(t *testing.T, tbl *Table, ref map[attr.Key]Counts) {
+	t.Helper()
+	if tbl.Len() != len(ref) {
+		t.Fatalf("Len=%d, want %d", tbl.Len(), len(ref))
+	}
+	tbl.ForEach(func(k attr.Key, c Counts) {
+		if ref[k] != c {
+			t.Fatalf("key %v counts %+v, want %+v", k, c, ref[k])
+		}
+	})
+	for k, want := range ref {
+		if got, ok := tbl.Get(k); !ok || got != want {
+			t.Fatalf("Get(%v) = %+v/%v, want %+v", k, got, ok, want)
+		}
+	}
+}
+
+// TestUnmergeOfMergeIsIdentity: merging a table and unmerging the same
+// table restores the destination bit for bit — cardinality, every cell,
+// and the probe invariant (every surviving key still reachable).
+func TestUnmergeOfMergeIsIdentity(t *testing.T) {
+	for _, maxDims := range []int{2, attr.NumDims} {
+		rng := rand.New(rand.NewSource(int64(41 + maxDims)))
+		base := Acquire(0, maxDims)
+		src := Acquire(0, maxDims)
+		ref := make(map[attr.Key]Counts)
+		fillRandom(base, ref, rng, 300, maxDims, 4)
+		fillRandom(src, nil, rng, 200, maxDims, 4)
+
+		base.Merge(src)
+		base.Unmerge(src)
+		assertTableEquals(t, base, ref)
+
+		src.Release()
+		base.Release()
+	}
+}
+
+// TestUnmergeEmptySource: unmerging an empty table is a no-op.
+func TestUnmergeEmptySource(t *testing.T) {
+	base := Acquire(0, attr.NumDims)
+	empty := Acquire(0, attr.NumDims)
+	defer base.Release()
+	defer empty.Release()
+	ref := make(map[attr.Key]Counts)
+	rng := rand.New(rand.NewSource(3))
+	fillRandom(base, ref, rng, 100, attr.NumDims, 4)
+	base.Unmerge(empty)
+	assertTableEquals(t, base, ref)
+}
+
+// TestUnmergeToEmpty: unmerging a table from itself (as a copy) leaves an
+// empty table with every slot reclaimed.
+func TestUnmergeToEmpty(t *testing.T) {
+	base := Acquire(0, attr.NumDims)
+	src := Acquire(0, attr.NumDims)
+	defer base.Release()
+	defer src.Release()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 150; i++ {
+		var v attr.Vector
+		for d := range v {
+			v[d] = int32(rng.Intn(3))
+		}
+		flags := uint8(rng.Intn(16))
+		failed := flags&(1<<metric.JoinFailure) != 0
+		base.AddSession(v, flags, failed)
+		src.AddSession(v, flags, failed)
+	}
+	base.Unmerge(src)
+	if base.Len() != 0 {
+		t.Fatalf("Len=%d after full unmerge, want 0", base.Len())
+	}
+	for i := range base.slots {
+		if base.slots[i].hash != 0 {
+			t.Fatalf("slot %d not reclaimed after full unmerge", i)
+		}
+	}
+}
+
+// TestUnmergeMissingKeyPanics: subtracting a key the table does not hold is
+// a window-accounting bug and must fail loudly, not corrupt counts.
+func TestUnmergeMissingKeyPanics(t *testing.T) {
+	base := Acquire(0, attr.NumDims)
+	src := Acquire(0, attr.NumDims)
+	defer base.Release()
+	defer src.Release()
+	base.AddSession(attr.Vector{1, 1, 1, 1, 1, 1, 1}, 1, false)
+	src.AddSession(attr.Vector{2, 2, 2, 2, 2, 2, 2}, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unmerge of a missing key did not panic")
+		}
+	}()
+	base.Unmerge(src)
+}
+
+// TestUnmergeReclaimsUnderCycling drives a long merge/unmerge window over a
+// churning key population and asserts the table's occupancy — and therefore
+// its load factor and capacity — tracks the live window rather than the
+// total history. Without slot reclamation the dead cells of expired
+// sub-buckets would accrete and force unbounded growth.
+func TestUnmergeReclaimsUnderCycling(t *testing.T) {
+	const windowLen = 8
+	rng := rand.New(rand.NewSource(71))
+	total := Acquire(0, attr.NumDims)
+	defer total.Release()
+
+	var window []*Table
+	capAfterWarmup := 0
+	for round := 0; round < 200; round++ {
+		b := Acquire(0, attr.NumDims)
+		// Distinct per-round value range so key sets churn across rounds.
+		for i := 0; i < 20; i++ {
+			var v attr.Vector
+			for d := range v {
+				v[d] = int32(rng.Intn(5)) + int32(round%37)*8
+			}
+			b.AddSession(v, uint8(rng.Intn(16)), false)
+		}
+		total.Merge(b)
+		window = append(window, b)
+		if len(window) > windowLen {
+			old := window[0]
+			window = window[1:]
+			total.Unmerge(old)
+			old.Release()
+		}
+		if round == 2*windowLen {
+			capAfterWarmup = len(total.slots)
+		}
+		if capAfterWarmup > 0 && len(total.slots) > 2*capAfterWarmup {
+			t.Fatalf("round %d: capacity %d grew past 2x warmed-up capacity %d — reclamation failed",
+				round, len(total.slots), capAfterWarmup)
+		}
+		if total.used > total.maxUsed {
+			t.Fatalf("round %d: load factor exceeded ceiling (%d > %d)", round, total.used, total.maxUsed)
+		}
+	}
+	for _, b := range window {
+		b.Release()
+	}
+}
+
+// FuzzUnmergeWindowAdvance is the bit-for-bit window-advance oracle: a
+// sliding window maintained by Merge of the entering sub-bucket and Unmerge
+// of the expiring one must equal, after every advance, a table rebuilt from
+// scratch over exactly the sub-buckets in the window.
+func FuzzUnmergeWindowAdvance(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(12), uint8(10))
+	f.Add(uint64(99), uint8(1), uint8(3), uint8(25))
+	f.Add(uint64(7), uint8(6), uint8(20), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, windowLen, rounds, perBucket uint8) {
+		wl := int(windowLen)%8 + 1
+		nRounds := int(rounds)%24 + wl
+		per := int(perBucket)%30 + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+
+		type bucket struct {
+			vecs   []attr.Vector
+			flags  []uint8
+			failed []bool
+			tbl    *Table
+		}
+		total := Acquire(0, attr.NumDims)
+		defer total.Release()
+		var window []bucket
+
+		for round := 0; round < nRounds; round++ {
+			b := bucket{tbl: Acquire(0, attr.NumDims)}
+			for i := 0; i < per; i++ {
+				var v attr.Vector
+				for d := range v {
+					v[d] = int32(rng.Intn(4))
+				}
+				fl := uint8(rng.Intn(16))
+				fa := fl&(1<<metric.JoinFailure) != 0
+				b.vecs = append(b.vecs, v)
+				b.flags = append(b.flags, fl)
+				b.failed = append(b.failed, fa)
+				b.tbl.AddSession(v, fl, fa)
+			}
+			total.Merge(b.tbl)
+			window = append(window, b)
+			if len(window) > wl {
+				old := window[0]
+				window = window[1:]
+				total.Unmerge(old.tbl)
+				old.tbl.Release()
+			}
+
+			// Oracle: rebuild from the live sub-buckets.
+			rebuilt := Acquire(0, attr.NumDims)
+			for _, wb := range window {
+				for i := range wb.vecs {
+					rebuilt.AddSession(wb.vecs[i], wb.flags[i], wb.failed[i])
+				}
+			}
+			if total.Len() != rebuilt.Len() {
+				t.Fatalf("round %d: windowed Len=%d, rebuilt Len=%d", round, total.Len(), rebuilt.Len())
+			}
+			rebuilt.ForEach(func(k attr.Key, c Counts) {
+				if got, ok := total.Get(k); !ok || got != c {
+					t.Fatalf("round %d: key %v windowed %+v/%v, rebuilt %+v", round, k, got, ok, c)
+				}
+			})
+			total.ForEach(func(k attr.Key, c Counts) {
+				if got, ok := rebuilt.Get(k); !ok || got != c {
+					t.Fatalf("round %d: windowed-only key %v (%+v vs %+v/%v)", round, k, c, got, ok)
+				}
+			})
+			rebuilt.Release()
+		}
+		for _, wb := range window {
+			wb.tbl.Release()
+		}
+	})
+}

@@ -294,7 +294,6 @@ func summarize(m metric.Metric, v *cluster.View, det *critical.Result, keepProbl
 	return ms
 }
 
-
 // AnalyzeGenerator regenerates every epoch from the synthetic generator and
 // analyses them in parallel. Parallelism here is across epochs (the
 // generator produces them independently), so each AnalyzeEpoch call runs

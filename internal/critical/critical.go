@@ -351,7 +351,6 @@ func criticalDescendants(critical map[attr.Key]*Cluster, k attr.Key) []attr.Key 
 	return out
 }
 
-
 // criticalMasks lists the distinct masks of the critical set.
 func criticalMasks(set map[attr.Key]*Cluster) []attr.Mask {
 	seen := make(map[attr.Mask]bool)

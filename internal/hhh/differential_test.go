@@ -219,3 +219,52 @@ func TestDetectScratchReuseDeterminism(t *testing.T) {
 		t.Fatalf("scratch reuse changed output:\nfirst %+v\nagain %+v", first, again)
 	}
 }
+
+// TestDetectFromTableMatchesDetect: the sliding-window path — raw counts
+// read from an epoch count table instead of re-enumerated — is bit-identical
+// to Detect over the same sessions, across fuzzed inputs, metrics, phi
+// values, and maxDims (including a table enumerated wider than the query).
+func TestDetectFromTableMatchesDetect(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	phis := []float64{0.01, 0.05, 0.3}
+	dims := []int{1, 3, attr.NumDims}
+	for trial := 0; trial < 6; trial++ {
+		n := 50 + r.Intn(700)
+		lites := genHHHLites(r, n)
+		tbl := cluster.NewTable(0, lites, 0)
+		for _, m := range []metric.Metric{metric.BufRatio, metric.JoinTime, metric.JoinFailure} {
+			for _, phi := range phis {
+				for _, md := range dims {
+					cfg := Config{Phi: phi, MaxDims: md}
+					got, err := DetectFromTable(tbl, m, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := Detect(lites, m, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d metric %v phi %v maxDims %d:\ntable %+v\nbatch %+v",
+							trial, m, phi, md, got, want)
+					}
+				}
+			}
+		}
+		tbl.Release()
+	}
+}
+
+// TestDetectFromTableRejectsNarrowTable: querying more dimensions than the
+// table enumerated cannot produce correct raw counts and must error.
+func TestDetectFromTableRejectsNarrowTable(t *testing.T) {
+	lites := genHHHLites(rand.New(rand.NewSource(1)), 50)
+	tbl := cluster.NewTable(0, lites, 2)
+	defer tbl.Release()
+	if _, err := DetectFromTable(tbl, metric.BufRatio, Config{Phi: 0.05, MaxDims: 3}); err == nil {
+		t.Fatal("DetectFromTable over a narrower table did not fail")
+	}
+	if _, err := DetectFromTable(tbl, metric.BufRatio, Config{Phi: 0.05, MaxDims: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

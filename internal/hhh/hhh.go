@@ -189,6 +189,13 @@ func (sc *scratch) find(h uint64, key attr.Key) *hslot {
 	}
 }
 
+func normDims(maxDims int) int {
+	if maxDims <= 0 || maxDims > attr.NumDims {
+		maxDims = attr.NumDims
+	}
+	return maxDims
+}
+
 // Detect runs bottom-up discounted heavy-hitter detection over one epoch of
 // session digests for metric m: masks are processed finest-first; a cluster
 // whose unclaimed problem sessions reach φ×total claims those sessions so
@@ -199,14 +206,67 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	maxDims := cfg.MaxDims
-	if maxDims <= 0 || maxDims > attr.NumDims {
-		maxDims = attr.NumDims
-	}
-
+	maxDims := normDims(cfg.MaxDims)
 	sc := acquireScratch()
 	defer releaseScratch(sc)
 
+	res := detectDiscounted(sessions, m, maxDims, cfg.Phi, sc)
+	if len(res.Hitters) > 0 {
+		// Raw (undiscounted) problem-session counts per key, aggregated once
+		// through the pooled open-addressing engine instead of 127 map
+		// increments per problem session.
+		raw := cktable.Acquire(len(sc.idx), maxDims)
+		for _, si := range sc.idx {
+			raw.AddSession(sessions[si].Attrs, 0, false)
+		}
+		for i := range res.Hitters {
+			c, _ := raw.Get(res.Hitters[i].Key)
+			res.Hitters[i].Raw = int(c.Total)
+		}
+		raw.Release()
+	}
+	sortHitters(res)
+	return res, nil
+}
+
+// DetectFromTable runs the same discounted detection over the sessions an
+// epoch count table retains, taking the raw (undiscounted) per-cluster
+// counts from the table's already-maintained Problems[m] tallies instead of
+// re-enumerating every problem session's subset keys. This is the
+// sliding-window path: the window engine keeps the count table current
+// incrementally, so the 127-mask raw-count pass — the part of Detect that
+// scales with the whole window rather than with the discounting working set
+// — is free. Problems[m] equals Detect's raw table exactly because a
+// session's problem bit is only ever set when metric m is defined for it.
+//
+// Discounted claims are inherently order-dependent (a finer hitter's claim
+// changes every coarser count), so the claim passes themselves are rerun
+// over the window's problem sessions rather than maintained decrementally;
+// DESIGN.md records the measurements behind that choice. Output is
+// bit-identical to Detect(tbl.Sessions, m, cfg).
+func DetectFromTable(tbl *cluster.Table, m metric.Metric, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxDims := normDims(cfg.MaxDims)
+	if maxDims > tbl.MaxDims {
+		return nil, fmt.Errorf("hhh: MaxDims %d exceeds the table's %d", maxDims, tbl.MaxDims)
+	}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+
+	res := detectDiscounted(tbl.Sessions, m, maxDims, cfg.Phi, sc)
+	for i := range res.Hitters {
+		res.Hitters[i].Raw = int(tbl.Get(res.Hitters[i].Key).Problems[m])
+	}
+	sortHitters(res)
+	return res, nil
+}
+
+// detectDiscounted is the shared discounting core: it fills every Hitter
+// field except Raw and leaves the hitters unsorted (sortHitters finishes
+// the job). sc.idx holds the problem-session indices on return.
+func detectDiscounted(sessions []cluster.Lite, m metric.Metric, maxDims int, phi float64, sc *scratch) *Result {
 	// Problem sessions only.
 	idx := sc.idx[:0]
 	for i := range sessions {
@@ -218,9 +278,9 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 	sc.idx = idx
 	res := &Result{Metric: m, Total: len(idx)}
 	if res.Total == 0 {
-		return res, nil
+		return res
 	}
-	threshold := cfg.Phi * float64(res.Total)
+	threshold := phi * float64(res.Total)
 	if threshold < 1 {
 		threshold = 1
 	}
@@ -234,15 +294,6 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		claimed[i] = false
 	}
 	sc.claimed = claimed
-
-	// Raw (undiscounted) problem-session counts per key, aggregated once
-	// through the pooled open-addressing engine instead of 127 map
-	// increments per problem session.
-	raw := cktable.Acquire(len(idx), maxDims)
-	defer raw.Release()
-	for _, si := range idx {
-		raw.AddSession(sessions[si].Attrs, 0, false)
-	}
 
 	for size := maxDims; size >= 1; size-- {
 		level := levelMasks[size]
@@ -326,17 +377,18 @@ func Detect(sessions []cluster.Lite, m metric.Metric, cfg Config) (*Result, erro
 		}
 	}
 
-	for i := range res.Hitters {
-		c, _ := raw.Get(res.Hitters[i].Key)
-		res.Hitters[i].Raw = int(c.Total)
-	}
+	return res
+}
+
+// sortHitters applies the deterministic output order: discounted count
+// descending, then key order.
+func sortHitters(res *Result) {
 	sort.SliceStable(res.Hitters, func(i, j int) bool {
 		if res.Hitters[i].Discounted != res.Hitters[j].Discounted {
 			return res.Hitters[i].Discounted > res.Hitters[j].Discounted
 		}
 		return res.Hitters[i].Key.Less(res.Hitters[j].Key)
 	})
-	return res, nil
 }
 
 // Keys returns the hitter keys in rank order.

@@ -147,7 +147,7 @@ func TestNodeKillRecoversSpooledSessions(t *testing.T) {
 	aggDial := func() (net.Conn, error) { return net.Dial("tcp", aggAddr) }
 
 	dirs := map[uint64]string{1: t.TempDir(), 2: t.TempDir(), 3: t.TempDir()}
-	nodes := make(map[string]*Node)   // member addr → node
+	nodes := make(map[string]*Node) // member addr → node
 	memberID := make(map[string]uint64)
 	ring := NewRing(0)
 	for id := uint64(1); id <= 3; id++ {

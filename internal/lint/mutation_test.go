@@ -138,6 +138,20 @@ func TestDeterminismMutationKill(t *testing.T) {
 			},
 			wantMsg: "call to time.Now in the deterministic analysis cone",
 		},
+		{
+			// The sliding-window engine's clock must come from heartbeat
+			// timestamps, never the wall: a time.Now smuggled into the
+			// advance path is exactly the edit that would silently break
+			// batch/streaming byte-identity.
+			name:    "insert a time.Now read into window Engine.Advance",
+			pattern: "./internal/window",
+			rule:    "wallclock",
+			mutate: func(pkg *Package) bool {
+				fn := findMethod(pkg, "Engine", "Advance")
+				return fn != nil && insertTimeNow(fn)
+			},
+			wantMsg: "call to time.Now in the deterministic analysis cone",
+		},
 	}
 
 	for _, tc := range cases {
@@ -169,9 +183,9 @@ func TestDeterminismMutationKill(t *testing.T) {
 // TestDeterminismMutationKill hit is caused by its mutation alone.
 func TestConeCleanBeforeMutation(t *testing.T) {
 	if testing.Short() {
-		t.Skip("loads and type-checks three cone packages")
+		t.Skip("loads and type-checks four cone packages")
 	}
-	for _, pattern := range []string{"./internal/ingest", "./internal/core", "./internal/cluster"} {
+	for _, pattern := range []string{"./internal/ingest", "./internal/core", "./internal/cluster", "./internal/window"} {
 		pkgs, err := Load("../..", []string{pattern})
 		if err != nil {
 			t.Fatalf("loading %s: %v", pattern, err)

@@ -43,6 +43,7 @@ var wallClockCone = map[string]bool{
 	"repro/internal/critical":     true,
 	"repro/internal/hhh":          true,
 	"repro/internal/ingest":       true,
+	"repro/internal/window":       true,
 	"corpus/wallclock_basic":      true,
 	"corpus/wallclock_broken":     true,
 }

@@ -1,0 +1,91 @@
+package online
+
+import (
+	"repro/internal/attr"
+	"repro/internal/epoch"
+	"repro/internal/events"
+	"repro/internal/metric"
+	"repro/internal/window"
+)
+
+// EventLatency is one ground-truth event's detection timing under both
+// detector granularities. Latencies count ticks of session data consumed
+// past the event's start: a batch detector evaluating only at epoch
+// boundaries cannot do better than TicksPerEpoch on an event starting at an
+// epoch's first tick, while the streaming detector's floor is one tick.
+type EventLatency struct {
+	EventID int32
+	Metric  metric.Metric
+	Tag     string
+	// StartEpoch is the first epoch of the event's first active interval;
+	// StartTick its first tick.
+	StartEpoch epoch.Index
+	StartTick  window.Tick
+
+	// DetectedTick reports whether any tick-level AlertNew matched the
+	// event's anchor (exactly, or via refinement/coarsening, the relation
+	// the validation suite uses); TickLatency is then the number of ticks
+	// from the event's start through the detecting tick, inclusive.
+	DetectedTick bool
+	TickLatency  int
+
+	// DetectedEpoch / EpochLatencyTicks are the batch counterpart: the
+	// first epoch-level AlertNew for the anchor, with the latency charged
+	// through the END of the detecting epoch (batch results only exist at
+	// boundaries), converted to ticks for direct comparison.
+	DetectedEpoch     bool
+	EpochLatencyTicks int
+}
+
+// anchorMatches mirrors the validation suite's recovery relation: a
+// detected key counts for an anchor when it equals it, refines it, or
+// coarsens it in the cluster hierarchy.
+func anchorMatches(k, anchor attr.Key) bool {
+	return k == anchor || k.Subsumes(anchor) || anchor.Subsumes(k)
+}
+
+// MeasureLatency charges every ground-truth event its detection latency
+// under the tick-level and epoch-level alert streams of one run. Only
+// AlertNew emissions at or after the event's start count as detections —
+// a streak that began before the event belongs to some other cause.
+// Events whose metric never alerts simply report DetectedTick/DetectedEpoch
+// false; undetectable events (too small, too mild) are the caller's concern.
+func MeasureLatency(sched *events.Schedule, ticks []TickAlert, epochs []Alert, wcfg window.Config) []EventLatency {
+	out := make([]EventLatency, 0, len(sched.Events))
+	for i := range sched.Events {
+		ev := &sched.Events[i]
+		if len(ev.Intervals) == 0 {
+			continue
+		}
+		el := EventLatency{
+			EventID:    ev.ID,
+			Metric:     ev.Metric,
+			Tag:        ev.Tag,
+			StartEpoch: ev.Intervals[0].Start,
+		}
+		el.StartTick = wcfg.StartTick(el.StartEpoch)
+
+		for _, a := range ticks {
+			if a.Kind != AlertNew || a.Metric != ev.Metric || a.Tick < el.StartTick {
+				continue
+			}
+			if anchorMatches(a.Key, ev.Anchor) {
+				el.DetectedTick = true
+				el.TickLatency = int(a.Tick-el.StartTick) + 1
+				break
+			}
+		}
+		for _, a := range epochs {
+			if a.Kind != AlertNew || a.Metric != ev.Metric || a.Epoch < el.StartEpoch {
+				continue
+			}
+			if anchorMatches(a.Key, ev.Anchor) {
+				el.DetectedEpoch = true
+				el.EpochLatencyTicks = int(a.Epoch-el.StartEpoch+1) * wcfg.TicksPerEpoch
+				break
+			}
+		}
+		out = append(out, el)
+	}
+	return out
+}

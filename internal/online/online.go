@@ -20,6 +20,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/metric"
 	"repro/internal/session"
+	"repro/internal/window"
 )
 
 // AlertKind classifies an alert.
@@ -84,6 +85,13 @@ type Detector struct {
 	// single analysis goroutine, so alert order stays deterministic.
 	pipe *engine.Pipeline
 
+	// win, when non-nil, is the sub-epoch sliding window the Streaming mode
+	// maintains incrementally; sessions then arrive through AddAt and every
+	// sealed tick re-evaluates the window (see streaming.go).
+	win      *window.Engine
+	wcfg     window.Config
+	tickEmit func(TickAlert)
+
 	// MinEpochSessions gates epoch evaluation: an epoch closing with fewer
 	// sessions is treated as an ingestion gap (collector restart, shed
 	// load), not as ground truth. Gap epochs emit no alerts and freeze
@@ -91,13 +99,18 @@ type Detector struct {
 	// nor restarts its streak from zero. Zero disables the gate.
 	MinEpochSessions int
 
-	streaks [metric.NumMetrics]map[attr.Key]int
+	streaks     [metric.NumMetrics]map[attr.Key]int
+	tickStreaks [metric.NumMetrics]map[attr.Key]int
 
 	// Epochs counts completed epochs; Alerts counts emissions; GapEpochs
 	// counts the subset of epochs skipped by the MinEpochSessions gate.
-	Epochs    int
-	Alerts    int
-	GapEpochs int
+	// Ticks and TickAlerts count the streaming mode's sealed sub-buckets
+	// and tick-level emissions.
+	Epochs     int
+	Alerts     int
+	GapEpochs  int
+	Ticks      int
+	TickAlerts int
 }
 
 // NewDetector builds a detector delivering alerts to emit in a
@@ -116,6 +129,9 @@ func NewDetector(cfg core.Config, emit func(Alert)) (*Detector, error) {
 // Add consumes one session. Sessions must arrive in non-decreasing epoch
 // order; a new epoch closes and evaluates the previous one.
 func (d *Detector) Add(s *session.Session) error {
+	if d.win != nil {
+		return fmt.Errorf("online: Add cannot mix with Streaming mode (use AddAt)")
+	}
 	if d.started && s.Epoch < d.cur {
 		return fmt.Errorf("online: session for epoch %d after epoch %d", s.Epoch, d.cur)
 	}
@@ -140,6 +156,9 @@ func (d *Detector) Add(s *session.Session) error {
 // analysis goroutine but keeps the same deterministic per-epoch order; the
 // emit callback must therefore not assume it runs on the Add goroutine.
 func (d *Detector) Pipeline(depth int) {
+	if d.win != nil {
+		panic("online: Pipeline cannot mix with Streaming mode")
+	}
 	d.pipe = engine.New(depth, func(e epoch.Index, lites []cluster.Lite) error {
 		err := d.evalEpoch(e, lites)
 		cluster.ReleaseLites(lites)
@@ -160,6 +179,22 @@ func (d *Detector) PipelineStats() engine.Stats {
 // mode, drains the analysis stage. Counters and streaks are safe to read
 // after Flush returns.
 func (d *Detector) Flush() error {
+	if d.win != nil {
+		// Streaming: seal the in-progress tick (if it holds sessions),
+		// evaluate it, and release the window's storage back to the pool.
+		if d.started && d.win.Pending() > 0 {
+			sealed, err := d.win.Advance()
+			if err != nil {
+				return err
+			}
+			if err := d.evalTick(sealed); err != nil {
+				return err
+			}
+		}
+		d.win.Close()
+		d.win = nil
+		return nil
+	}
 	if d.started && len(d.buf) > 0 {
 		if err := d.closeEpoch(); err != nil {
 			if d.pipe != nil {
@@ -215,8 +250,8 @@ func (d *Detector) evalEpoch(e epoch.Index, lites []cluster.Lite) error {
 // res may then be nil, no alerts fire, and GapEpochs counts it. A healthy
 // epoch requires res.
 func (d *Detector) ObserveResult(e epoch.Index, res *core.EpochResult, sessions int, degraded bool) error {
-	if d.pipe != nil || len(d.buf) > 0 {
-		return fmt.Errorf("online: ObserveResult cannot mix with streaming Add/Pipeline")
+	if d.pipe != nil || len(d.buf) > 0 || d.win != nil {
+		return fmt.Errorf("online: ObserveResult cannot mix with streaming Add/Pipeline/Streaming")
 	}
 	if d.started && e <= d.cur {
 		return fmt.Errorf("online: result for epoch %d after epoch %d", e, d.cur)
@@ -294,4 +329,3 @@ func (d *Detector) send(a Alert) {
 		d.emit(a)
 	}
 }
-

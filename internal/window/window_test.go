@@ -1,0 +1,315 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+	"repro/internal/metric"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{DefaultConfig(), true},
+		{Config{Ticks: 1, TicksPerEpoch: 1}, true},
+		{Config{Ticks: 0, TicksPerEpoch: 60}, false},
+		{Config{Ticks: 60, TicksPerEpoch: 0}, false},
+		{Config{Ticks: 60, TicksPerEpoch: 60, MaxDims: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	cfg := Config{Ticks: 60, TicksPerEpoch: 60}
+	if got := cfg.EpochOf(0); got != 0 {
+		t.Fatalf("EpochOf(0) = %d", got)
+	}
+	if got := cfg.EpochOf(59); got != 0 {
+		t.Fatalf("EpochOf(59) = %d", got)
+	}
+	if got := cfg.EpochOf(60); got != 1 {
+		t.Fatalf("EpochOf(60) = %d", got)
+	}
+	if got := cfg.StartTick(3); got != 180 {
+		t.Fatalf("StartTick(3) = %d", got)
+	}
+	// Round-trip: every tick of epoch e maps back to e.
+	for e := epoch.Index(0); e < 4; e++ {
+		start := cfg.StartTick(e)
+		for off := Tick(0); off < Tick(cfg.TicksPerEpoch); off++ {
+			if cfg.EpochOf(start+off) != e {
+				t.Fatalf("EpochOf(%d) != %d", start+off, e)
+			}
+		}
+	}
+	for tk := Tick(0); tk < 200; tk++ {
+		want := (tk+1)%60 == 0
+		if cfg.EpochBoundary(tk) != want {
+			t.Fatalf("EpochBoundary(%d) = %v, want %v", tk, cfg.EpochBoundary(tk), want)
+		}
+	}
+}
+
+// TestSubTickDeterministicAndInRange: the derived sub-epoch offset is a pure
+// function of the session ID and always lands inside the epoch.
+func TestSubTickDeterministicAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		id := rng.Uint64()
+		a := SubTick(id, 60)
+		b := SubTick(id, 60)
+		if a != b {
+			t.Fatalf("SubTick(%d) not deterministic: %d vs %d", id, a, b)
+		}
+		if a < 0 || a >= 60 {
+			t.Fatalf("SubTick(%d) = %d out of [0,60)", id, a)
+		}
+		seen[a]++
+	}
+	// Uniformity sanity: every minute of the hour receives some sessions.
+	for m := 0; m < 60; m++ {
+		if seen[m] == 0 {
+			t.Fatalf("minute %d received no sessions across 10k draws", m)
+		}
+	}
+}
+
+func randomLite(rng *rand.Rand, valRange int) cluster.Lite {
+	var l cluster.Lite
+	for d := range l.Attrs {
+		l.Attrs[d] = int32(rng.Intn(valRange))
+	}
+	l.Bits = uint8(rng.Intn(16))
+	l.Failed = l.Bits&(1<<metric.JoinFailure) != 0
+	return l
+}
+
+// assertSnapshotEqualsRebuild compares the engine's incrementally maintained
+// snapshot against a cluster.NewTable rebuild over the same window sessions:
+// epoch, root, session order, cardinality, and every cell in both lookup
+// directions.
+func assertSnapshotEqualsRebuild(t *testing.T, eng *Engine, maxDims int) {
+	t.Helper()
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	rebuilt := cluster.NewTable(snap.Epoch, append([]cluster.Lite(nil), snap.Sessions...), maxDims)
+	defer rebuilt.Release()
+
+	if snap.Len() != rebuilt.Len() {
+		t.Fatalf("snapshot Len=%d, rebuilt Len=%d", snap.Len(), rebuilt.Len())
+	}
+	if snap.Root != rebuilt.Root {
+		t.Fatalf("snapshot Root=%+v, rebuilt Root=%+v", snap.Root, rebuilt.Root)
+	}
+	rebuilt.ForEach(func(k attr.Key, c cluster.Counts) {
+		if got := snap.Get(k); got != c {
+			t.Fatalf("key %v snapshot %+v, rebuilt %+v", k, got, c)
+		}
+	})
+	snap.ForEach(func(k attr.Key, c cluster.Counts) {
+		if got := rebuilt.Get(k); got != c {
+			t.Fatalf("snapshot-only key %v (%+v vs %+v)", k, c, got)
+		}
+	})
+}
+
+// TestWindowEqualsRebuild drives the engine through several windows' worth of
+// ticks — including empty ones — and checks after every advance that the
+// incrementally maintained snapshot is exactly the table a from-scratch
+// rebuild over the live window produces.
+func TestWindowEqualsRebuild(t *testing.T) {
+	for _, maxDims := range []int{0, 2} {
+		cfg := Config{Ticks: 5, TicksPerEpoch: 5, MaxDims: maxDims}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if err := eng.Start(0); err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(29))
+		want := make(map[Tick][]cluster.Lite)
+		for tk := Tick(0); tk < 23; tk++ {
+			n := rng.Intn(40)
+			if tk%7 == 3 {
+				n = 0 // empty sub-bucket: the window must still slide
+			}
+			for i := 0; i < n; i++ {
+				l := randomLite(rng, 4)
+				if err := eng.Observe(l); err != nil {
+					t.Fatal(err)
+				}
+				want[tk] = append(want[tk], l)
+			}
+			if _, err := eng.Advance(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Independent window accounting.
+			lo := tk - Tick(cfg.Ticks) + 1
+			if lo < 0 {
+				lo = 0
+			}
+			var wantLites []cluster.Lite
+			for wt := lo; wt <= tk; wt++ {
+				wantLites = append(wantLites, want[wt]...)
+			}
+			if eng.Sessions() != len(wantLites) {
+				t.Fatalf("tick %d: Sessions=%d, want %d", tk, eng.Sessions(), len(wantLites))
+			}
+			snap, err := eng.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap.Sessions) != len(wantLites) {
+				t.Fatalf("tick %d: snapshot carries %d sessions, want %d", tk, len(snap.Sessions), len(wantLites))
+			}
+			for i := range wantLites {
+				if snap.Sessions[i] != wantLites[i] {
+					t.Fatalf("tick %d: session %d out of tick order", tk, i)
+				}
+			}
+			if snap.Epoch != cfg.EpochOf(tk) {
+				t.Fatalf("tick %d: snapshot epoch %d, want %d", tk, snap.Epoch, cfg.EpochOf(tk))
+			}
+			assertSnapshotEqualsRebuild(t, eng, maxDims)
+		}
+	}
+}
+
+// TestAdvanceTo: gap ticks are sealed one by one, each visible to eval, and
+// empty sub-buckets slide sessions out of the window.
+func TestAdvanceTo(t *testing.T) {
+	cfg := Config{Ticks: 3, TicksPerEpoch: 3}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Start(10); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		if err := eng.Observe(randomLite(rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sealed []Tick
+	if err := eng.AdvanceTo(15, func(s Tick) error { sealed = append(sealed, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantSealed := []Tick{10, 11, 12, 13, 14}
+	if len(sealed) != len(wantSealed) {
+		t.Fatalf("sealed %v, want %v", sealed, wantSealed)
+	}
+	for i := range sealed {
+		if sealed[i] != wantSealed[i] {
+			t.Fatalf("sealed %v, want %v", sealed, wantSealed)
+		}
+	}
+	if eng.Tick() != 15 {
+		t.Fatalf("open tick %d, want 15", eng.Tick())
+	}
+	// Ticks 13,14 sealed empty; window is {13,14,12}? No — window holds the
+	// last 3 sealed ticks {12,13,14}, and tick 10's sessions expired.
+	if eng.Sessions() != 0 {
+		t.Fatalf("Sessions=%d after the populated tick slid out, want 0", eng.Sessions())
+	}
+	// AdvanceTo to the current open tick is a no-op.
+	if err := eng.AdvanceTo(15, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Going backwards is an error.
+	if err := eng.AdvanceTo(14, nil); err == nil {
+		t.Fatal("AdvanceTo backwards did not fail")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Observe(cluster.Lite{}); err == nil {
+		t.Fatal("Observe before Start did not fail")
+	}
+	if _, err := eng.Advance(); err == nil {
+		t.Fatal("Advance before Start did not fail")
+	}
+	if _, err := eng.Snapshot(); err == nil {
+		t.Fatal("Snapshot before Start did not fail")
+	}
+	if err := eng.AdvanceTo(1, nil); err == nil {
+		t.Fatal("AdvanceTo before Start did not fail")
+	}
+	if err := eng.Start(-1); err == nil {
+		t.Fatal("Start at a negative tick did not fail")
+	}
+	if err := eng.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(0); err == nil {
+		t.Fatal("second Start did not fail")
+	}
+	if _, err := eng.Snapshot(); err == nil {
+		t.Fatal("Snapshot before the first Advance did not fail")
+	}
+
+	if _, err := New(Config{Ticks: 0, TicksPerEpoch: 60}); err == nil {
+		t.Fatal("New with invalid config did not fail")
+	}
+}
+
+// TestSnapshotBorrowed: consecutive snapshots reuse the engine's scratch, and
+// the snapshot stays coherent with the engine state it was taken from.
+func TestSnapshotBorrowed(t *testing.T) {
+	cfg := Config{Ticks: 4, TicksPerEpoch: 4}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for tk := 0; tk < 10; tk++ {
+		for i := 0; i < 15; i++ {
+			if err := eng.Observe(randomLite(rng, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		s1, err := eng.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := eng.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Len() != s2.Len() || len(s1.Sessions) != len(s2.Sessions) {
+			t.Fatalf("consecutive snapshots disagree: %d/%d keys, %d/%d sessions",
+				s1.Len(), s2.Len(), len(s1.Sessions), len(s2.Sessions))
+		}
+	}
+}

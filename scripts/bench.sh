@@ -20,13 +20,26 @@
 # the JSON — a 1-core host cannot show wall-clock speedup no matter how well
 # the sharding scales, and the record must say so. Tunables: BENCH_COUNT
 # (default 3), BENCH_CPUS (default 1,2,4,8), BENCH_TIME (default 1x).
+#
+# --streaming mode records the sliding-window engine: the BenchmarkWindow*
+# pairs (incremental one-minute advance vs full 60-minute recompute, with
+# and without critical-cluster detection, at 100k sessions/hour), the
+# derived advance-vs-recompute speedup, and the detection-latency scenarios
+# from `vqmonitor -latency-report`. The committed BENCH_streaming.json is
+# this mode's output.
 set -eu
 
 mode="substrate"
-if [ "${1:-}" = "--scaling" ]; then
+case "${1:-}" in
+--scaling)
 	mode="scaling"
 	shift
-fi
+	;;
+--streaming)
+	mode="streaming"
+	shift
+	;;
+esac
 
 label="${1:?usage: scripts/bench.sh [--scaling] <label> [bench-regexp]}"
 
@@ -54,6 +67,13 @@ if [ "$mode" = "scaling" ]; then
 		go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
 			-count="$count" -cpu "$c" -timeout 60m . | tee -a "$raw"
 	done
+elif [ "$mode" = "streaming" ]; then
+	pattern="${2:-^BenchmarkWindow(Advance|AdvanceDetect|Recompute|RecomputeDetect)\$}"
+	count="${BENCH_COUNT:-3}"
+	benchtime="${BENCH_TIME:-1s}"
+	keepcpu=0
+	go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+		-count="$count" -timeout 60m . | tee "$raw"
 else
 	pattern="${2:-ClusterTable|CriticalDetect|HHHDetect|SessionBinaryCodec|HeartbeatProtocol}"
 	count="${BENCH_COUNT:-5}"
@@ -89,5 +109,25 @@ END {
 	}
 	printf "  }\n}\n"
 }' "$raw" >"$out"
+
+if [ "$mode" = "streaming" ]; then
+	# Append the derived advance-vs-recompute speedup and the canned
+	# detection-latency scenarios to the record.
+	adv="$(sed -n 's/.*"BenchmarkWindowAdvance": {"ns_op": \([0-9]*\),.*/\1/p' "$out")"
+	rec="$(sed -n 's/.*"BenchmarkWindowRecompute": {"ns_op": \([0-9]*\),.*/\1/p' "$out")"
+	speedup="$(awk -v a="$adv" -v r="$rec" 'BEGIN {
+		if (a + 0 > 0 && r + 0 > 0) printf "%.1f", r / a; else print "null"
+	}')"
+	lat="$(mktemp)"
+	go run ./cmd/vqmonitor -latency-report >"$lat"
+	{
+		sed '$d' "$out"
+		printf '  ,\n  "advance_vs_recompute_speedup": %s,\n  "streaming_latency": ' "$speedup"
+		cat "$lat"
+		printf '}\n'
+	} >"$out.tmp"
+	mv "$out.tmp" "$out"
+	rm -f "$lat"
+fi
 
 echo "wrote $out"
